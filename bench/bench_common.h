@@ -1,0 +1,62 @@
+// Shared driver for the reproduction benches.
+//
+// Every bench binary runs the same "standard study" (a scaled-down version
+// of the paper's 45-system, 4-week collection) and prints paper-vs-measured
+// rows for its table or figure. Scale knobs via environment:
+//   NTRACE_SYSTEMS_SCALE  multiplies per-category system counts (default 1)
+//   NTRACE_DAYS           simulated days (default 1)
+//   NTRACE_ACTIVITY       burst-rate multiplier (default 1.0)
+//   NTRACE_CONTENT        initial-content multiplier (default 0.15)
+//   NTRACE_SEED           fleet seed (default 1999)
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/study/study.h"
+
+namespace ntrace {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline StudyConfig StandardConfig() {
+  StudyConfig config;
+  // Default fleet mirrors the paper's 45 instrumented systems.
+  const double sys_scale = EnvDouble("NTRACE_SYSTEMS_SCALE", 1.0);
+  config.fleet.walk_up = std::max(1, static_cast<int>(10 * sys_scale));
+  config.fleet.pool = std::max(1, static_cast<int>(12 * sys_scale));
+  config.fleet.personal = std::max(1, static_cast<int>(14 * sys_scale));
+  config.fleet.administrative = std::max(1, static_cast<int>(5 * sys_scale));
+  config.fleet.scientific = std::max(1, static_cast<int>(4 * sys_scale));
+  config.fleet.days = static_cast<int>(EnvDouble("NTRACE_DAYS", 1));
+  config.fleet.seed = static_cast<uint64_t>(EnvDouble("NTRACE_SEED", 1999));
+  config.fleet.activity_scale = EnvDouble("NTRACE_ACTIVITY", 0.75);
+  config.fleet.content_scale = EnvDouble("NTRACE_CONTENT", 0.12);
+  return config;
+}
+
+// Runs the standard study, reporting its scale on stdout.
+inline Study& RunStandardStudy() {
+  static Study study(StandardConfig());
+  if (!study.has_run()) {
+    const StudyConfig config = StandardConfig();
+    std::printf("ntrace standard study: %d systems, %d day(s), activity x%.2f, seed %llu\n",
+                config.fleet.TotalSystems(), config.fleet.days, config.fleet.activity_scale,
+                static_cast<unsigned long long>(config.fleet.seed));
+    study.Run();
+    std::printf("collected %zu trace records, %zu name records across %zu systems\n",
+                study.trace().records.size(), study.trace().names.size(),
+                study.systems().size());
+  }
+  return study;
+}
+
+}  // namespace ntrace
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Section 12 extension: the per-process and per-file-type access profiles
+// the paper names as its next analyses, plus the sharing/locking error
+// classes enabled by the share-access and byte-range-lock semantics.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+#include "src/base/format.h"
+
+namespace ntrace {
+namespace {
+
+void Run() {
+  Study& study = RunStandardStudy();
+
+  // --- Per-process profiles ----------------------------------------------------
+  std::printf("\n=== Per-process access profiles (section 12 / 8.1) ===\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const ProcessProfile& p : study.ProcessProfiles()) {
+    if (p.opens < 50) {
+      continue;
+    }
+    rows.push_back({p.image_name, std::to_string(p.opens),
+                    FormatPct(p.control_only_fraction),
+                    FormatBytes(static_cast<double>(p.bytes_read + p.bytes_written)),
+                    std::to_string(p.distinct_files),
+                    FormatF(p.session_length_ms.mean(), 2) + "ms",
+                    FormatF(p.session_p90_ms, 1) + "ms"});
+  }
+  std::printf("%s", RenderTable({"process", "opens", "ctl-only", "bytes", "files",
+                                 "mean session", "p90 session"},
+                                rows)
+                        .c_str());
+
+  // The 8.1 contrast: quick-session apps vs session-long holders.
+  ComparisonReport report("Process-profile shape checks");
+  double quick_p90 = 0;
+  double holder_p90 = 0;
+  for (const ProcessProfile& p : study.ProcessProfiles()) {
+    if (p.image_name == "notepad.exe") {
+      quick_p90 = p.session_p90_ms;
+    }
+    if (p.image_name == "services.exe") {
+      holder_p90 = p.session_length_ms.max();  // The held handles.
+    }
+  }
+  report.AddRow("editors never hold files long", "milliseconds (FrontPage)",
+                FormatF(quick_p90, 1) + "ms p90 (notepad)", "");
+  report.AddRow("services hold files for the session", "hours (loadwc)",
+                FormatF(holder_p90 / 3600000.0, 2) + "h max (services)",
+                holder_p90 > 1000 * quick_p90 ? "contrast holds" : "check");
+
+  // --- Per-file-type profiles --------------------------------------------------
+  std::printf("\n=== Per-file-type profiles ===\n");
+  rows.clear();
+  for (const FileTypeProfile& t : study.FileTypeProfiles()) {
+    rows.push_back({std::string(FileCategoryName(t.category)), std::to_string(t.opens),
+                    FormatBytes(static_cast<double>(t.bytes)),
+                    FormatBytes(t.file_size.mean()),
+                    FormatF(t.session_length_ms.mean(), 2) + "ms"});
+  }
+  std::printf("%s", RenderTable({"category", "opens", "bytes", "mean size", "mean session"},
+                                rows)
+                        .c_str());
+
+  // --- Sharing violations and lock activity ------------------------------------
+  uint64_t sharing_violations = 0;
+  uint64_t lock_ops = 0;
+  uint64_t lock_refusals = 0;
+  for (const TraceRecord& r : study.trace().records) {
+    if (r.Event() == TraceEvent::kIrpCreate &&
+        r.Status() == NtStatus::kSharingViolation) {
+      ++sharing_violations;
+    }
+    if (r.Event() == TraceEvent::kIrpLockControl) {
+      ++lock_ops;
+      if (r.Status() == NtStatus::kLockNotGranted) {
+        ++lock_refusals;
+      }
+    }
+  }
+  report.AddRow("sharing violations observed", "part of the 17% 'other' open errors",
+                std::to_string(sharing_violations),
+                "burst-synchronous workload rarely overlaps opens; semantics "
+                "covered by sharing_locking_test");
+  report.AddRow("byte-range lock operations", "(outside the paper's scope)",
+                std::to_string(lock_ops),
+                std::to_string(lock_refusals) + " refused");
+  report.Print();
+}
+
+}  // namespace
+}  // namespace ntrace
+
+int main() {
+  ntrace::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8 reproduction: open-request arrival counts viewed at 1 s / 10 s /
+// 100 s granularity, against a Poisson synthesis with parameters estimated
+// from the trace. The Poisson sample smooths as the scale grows; the traced
+// arrivals stay bursty (coefficient of variation stays high).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/analysis/burstiness.h"
+#include "src/analysis/report.h"
+#include "src/base/format.h"
+
+namespace ntrace {
+namespace {
+
+void Run() {
+  Study& study = RunStandardStudy();
+  const ArrivalViews views = study.Burstiness();
+
+  PrintArrivalComparison("Figure 8: arrivals per 1s interval", views.trace_1s,
+                         views.poisson_1s);
+  PrintArrivalComparison("Figure 8: arrivals per 10s interval", views.trace_10s,
+                         views.poisson_10s);
+  PrintArrivalComparison("Figure 8: arrivals per 100s interval", views.trace_100s,
+                         views.poisson_100s);
+
+  std::printf("\ncoefficient of variation (trace vs poisson):\n");
+  const char* scales[3] = {"1s", "10s", "100s"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-5s trace %.2f   poisson %.2f\n", scales[i], views.trace_cv[i],
+                views.poisson_cv[i]);
+  }
+
+  ComparisonReport report("Figure 8 shape checks");
+  report.AddRow("poisson smooths with coarser scale", "CV drops ~sqrt(10)/step",
+                views.poisson_cv[2] < views.poisson_cv[0] ? "yes" : "no",
+                FormatF(views.poisson_cv[0], 2) + " -> " + FormatF(views.poisson_cv[2], 2));
+  report.AddRow("trace stays bursty at 100s", "variance persists",
+                views.trace_cv[2] > 2 * views.poisson_cv[2] ? "yes" : "no",
+                "trace CV " + FormatF(views.trace_cv[2], 2) + " vs poisson " +
+                    FormatF(views.poisson_cv[2], 2));
+  report.Print();
+}
+
+}  // namespace
+}  // namespace ntrace
+
+int main() {
+  ntrace::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Heavy-tail laboratory: the section 7 methodology on synthetic ground
+// truth, then on a real simulated trace.
+//
+// First we verify the estimators against distributions whose tail index is
+// known exactly (Pareto alpha = 1.2 should be recognized; exponential
+// should not look heavy-tailed). Then we apply the identical pipeline --
+// Hill plot, LLCD fit, QQ comparison -- to the open inter-arrival sample of
+// a simulated machine, reproducing the paper's argument that Poisson/Normal
+// assumptions are structurally wrong for file system traffic.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/analysis/burstiness.h"
+#include "src/base/rng.h"
+#include "src/stats/distributions.h"
+#include "src/stats/tails.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+using namespace ntrace;
+
+void Report(const char* name, const std::vector<double>& sample) {
+  const double hill = HillEstimator::EstimateWithTailFraction(sample, 0.05);
+  const LlcdSeries llcd = BuildLlcd(sample, 0.1);
+  const QqSeries qn = QqAgainstNormal(sample);
+  const QqSeries qp = QqAgainstPareto(sample);
+  std::printf("%-34s hill=%.2f  llcd=%.2f (r2=%.3f)  qq_norm=%.4f  qq_pareto=%.4f\n", name,
+              hill, llcd.alpha_hat, llcd.fit_r2, qn.deviation, qp.deviation);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ntrace;
+  Rng rng(7);
+
+  std::printf("--- estimator ground truth (100k samples each) ---\n");
+  {
+    ParetoDistribution pareto(1.0, 1.2);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i) {
+      sample.push_back(pareto.Sample(rng));
+    }
+    Report("pareto(alpha=1.2)", sample);
+  }
+  {
+    ParetoDistribution pareto(1.0, 1.7);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i) {
+      sample.push_back(pareto.Sample(rng));
+    }
+    Report("pareto(alpha=1.7)", sample);
+  }
+  {
+    ExponentialDistribution exp_dist(1.0);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i) {
+      sample.push_back(exp_dist.Sample(rng));
+    }
+    Report("exponential (not heavy)", sample);
+  }
+  {
+    LogNormalDistribution lognormal(0.0, 1.0);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i) {
+      sample.push_back(lognormal.Sample(rng));
+    }
+    Report("lognormal (borderline)", sample);
+  }
+
+  std::printf("\n--- the same pipeline on a simulated trace ---\n");
+  FleetConfig config;
+  config.walk_up = 1;
+  config.pool = 1;
+  config.personal = 1;
+  config.administrative = 0;
+  config.scientific = 0;
+  config.days = 1;
+  config.seed = 77;
+  config.activity_scale = 0.5;
+  config.content_scale = 0.1;
+  const FleetResult fleet = RunFleet(config);
+  std::printf("(%zu records)\n", fleet.trace.records.size());
+
+  const std::vector<double> gaps = BurstinessAnalyzer::OpenInterarrivalsMs(fleet.trace);
+  Report("open inter-arrivals (ms)", gaps);
+
+  // The figure-8 comparison in numbers: variance across time scales.
+  const ArrivalViews views = BurstinessAnalyzer::BuildArrivalViews(fleet.trace);
+  std::printf("\ncoefficient of variation, trace vs poisson synthesis:\n");
+  const char* scales[3] = {"1s", "10s", "100s"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-5s %.2f vs %.2f\n", scales[i], views.trace_cv[i], views.poisson_cv[i]);
+  }
+  std::printf("\nconclusion: Poisson smooths with scale; the trace does not --\n"
+              "modeling NT file system arrivals as Poisson is structurally wrong.\n");
+  return 0;
+}

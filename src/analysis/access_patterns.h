@@ -1,0 +1,67 @@
+// Table 3 and figures 1-4: access-pattern mix, sequential run lengths, and
+// file-size distributions weighted by opens and by bytes.
+
+#ifndef SRC_ANALYSIS_ACCESS_PATTERNS_H_
+#define SRC_ANALYSIS_ACCESS_PATTERNS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/analysis/patterns.h"
+#include "src/stats/descriptive.h"
+#include "src/tracedb/instance_table.h"
+
+namespace ntrace {
+
+// One cell of table 3: percentage of accesses and of bytes, with the
+// min/max range observed when each system's trace is analyzed separately
+// (the -/+ columns the paper stresses in section 7).
+struct PatternCell {
+  double accesses_pct = 0.0;
+  double accesses_min = 0.0;
+  double accesses_max = 0.0;
+  double bytes_pct = 0.0;
+  double bytes_min = 0.0;
+  double bytes_max = 0.0;
+};
+
+struct AccessPatternTable {
+  // [UsageMode][TransferPattern].
+  std::array<std::array<PatternCell, 3>, 3> cells{};
+  // Per usage mode: share of sessions and of bytes.
+  std::array<PatternCell, 3> usage_totals{};
+  uint64_t data_sessions = 0;
+};
+
+struct RunLengthResult {
+  WeightedCdf read_runs_by_count;   // Figure 1.
+  WeightedCdf write_runs_by_count;
+  WeightedCdf read_runs_by_bytes;   // Figure 2.
+  WeightedCdf write_runs_by_bytes;
+  double read_p80_bytes = 0.0;  // The paper's 80% mark (11 KB).
+};
+
+struct FileSizeResult {
+  // Figure 3: file size weighted by opens; figure 4: weighted by bytes.
+  std::array<WeightedCdf, 3> size_by_opens;  // Per UsageMode.
+  std::array<WeightedCdf, 3> size_by_bytes;
+  WeightedCdf all_by_opens;
+  WeightedCdf all_by_bytes;
+  double p80_size_by_opens = 0.0;   // Paper: ~26 KB ("80% smaller than 26K").
+  double top20_size = 0.0;          // Paper: top 20% of files are > 4 MB.
+};
+
+class AccessPatternAnalyzer {
+ public:
+  // Builds table 3. When the table spans several systems, ranges come from
+  // per-system analyses.
+  static AccessPatternTable BuildTable(const InstanceTable& instances);
+
+  static RunLengthResult AnalyzeRuns(const InstanceTable& instances);
+
+  static FileSizeResult AnalyzeFileSizes(const InstanceTable& instances);
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_ANALYSIS_ACCESS_PATTERNS_H_

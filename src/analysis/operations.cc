@@ -1,0 +1,209 @@
+#include "src/analysis/operations.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/tracedb/dimensions.h"
+
+namespace ntrace {
+
+OperationResult OperationAnalyzer::Analyze(const TraceSet& trace,
+                                           const InstanceTable& instances) {
+  OperationResult out;
+
+  uint64_t reads_512_4096 = 0;
+  uint64_t reads_small = 0;
+  uint64_t reads_large = 0;
+  uint64_t read_failures = 0;
+  uint64_t opens = 0;
+  uint64_t open_failures = 0;
+  uint64_t open_notfound = 0;
+  uint64_t open_collision = 0;
+  uint64_t control_total = 0;
+  uint64_t control_failures = 0;
+  uint64_t non_interactive = 0;
+  uint64_t attributed = 0;
+  std::set<std::pair<uint32_t, int64_t>> active_seconds;
+
+  for (const TraceRecord& r : trace.records) {
+    if (r.IsPagingIo()) {
+      continue;
+    }
+    active_seconds.insert({r.system_id, r.complete_ticks / SimDuration::kTicksPerSecond});
+
+    // Section 7: attribution to processes that take no direct user input.
+    const std::string* pname = trace.ProcessNameOf(r.process_id);
+    if (pname != nullptr) {
+      ++attributed;
+      if (ProcessDimension::Classify(*pname) != ProcessClass::kInteractive) {
+        ++non_interactive;
+      }
+    }
+
+    switch (r.Event()) {
+      case TraceEvent::kIrpRead:
+      case TraceEvent::kFastIoRead: {
+        ++out.reads;
+        out.read_sizes.Add(static_cast<double>(r.length));
+        if (r.length == 512 || r.length == 4096) {
+          ++reads_512_4096;
+        } else if (r.length >= 2 && r.length <= 8) {
+          ++reads_small;
+        } else if (r.length >= 48 * 1024) {
+          ++reads_large;
+        }
+        if (NtError(r.Status()) || r.Status() == NtStatus::kEndOfFile) {
+          ++read_failures;
+        }
+        break;
+      }
+      case TraceEvent::kIrpWrite:
+      case TraceEvent::kFastIoWrite:
+        ++out.writes;
+        out.write_sizes.Add(static_cast<double>(r.length));
+        if (NtError(r.Status())) {
+          ++out.write_failures;
+        }
+        break;
+      case TraceEvent::kIrpCreate:
+        ++opens;
+        if (NtError(r.Status())) {
+          ++open_failures;
+          if (r.Status() == NtStatus::kObjectNameNotFound ||
+              r.Status() == NtStatus::kObjectPathNotFound) {
+            ++open_notfound;
+          } else if (r.Status() == NtStatus::kObjectNameCollision) {
+            ++open_collision;
+          }
+        }
+        break;
+      case TraceEvent::kIrpDirectoryControl:
+        ++out.directory_ops;
+        ++control_total;
+        if (NtError(r.Status())) {
+          ++control_failures;
+        }
+        break;
+      case TraceEvent::kIrpFileSystemControl:
+      case TraceEvent::kIrpDeviceControl:
+        ++out.control_ops;
+        ++control_total;
+        if (static_cast<FsctlCode>(r.fsctl) == FsctlCode::kIsVolumeMounted) {
+          ++out.volume_mounted_checks;
+        }
+        if (NtError(r.Status())) {
+          ++control_failures;
+        }
+        break;
+      case TraceEvent::kIrpQueryInformation:
+      case TraceEvent::kIrpQueryVolumeInformation:
+      case TraceEvent::kIrpFlushBuffers:
+      case TraceEvent::kIrpLockControl:
+      case TraceEvent::kFastIoQueryBasicInfo:
+      case TraceEvent::kFastIoQueryStandardInfo:
+        ++out.control_ops;
+        ++control_total;
+        if (NtError(r.Status())) {
+          ++control_failures;
+        }
+        break;
+      case TraceEvent::kIrpSetInformation:
+        ++out.control_ops;
+        ++control_total;
+        if (static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kEndOfFile) {
+          ++out.seteof_ops;
+        }
+        if (NtError(r.Status())) {
+          ++control_failures;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  out.read_sizes.Finalize();
+  out.write_sizes.Finalize();
+  if (out.reads > 0) {
+    out.reads_512_or_4096_fraction = static_cast<double>(reads_512_4096) / out.reads;
+    out.reads_small_fraction = static_cast<double>(reads_small) / out.reads;
+    out.reads_48k_plus_fraction = static_cast<double>(reads_large) / out.reads;
+    out.read_failure_fraction = static_cast<double>(read_failures) / out.reads;
+  }
+  if (opens > 0) {
+    out.open_failure_fraction = static_cast<double>(open_failures) / opens;
+  }
+  if (open_failures > 0) {
+    out.open_notfound_share = static_cast<double>(open_notfound) / open_failures;
+    out.open_collision_share = static_cast<double>(open_collision) / open_failures;
+  }
+  if (control_total > 0) {
+    out.control_failure_fraction = static_cast<double>(control_failures) / control_total;
+  }
+  if (attributed > 0) {
+    out.non_interactive_access_fraction = static_cast<double>(non_interactive) / attributed;
+  }
+  if (!active_seconds.empty()) {
+    out.volume_checks_per_active_second =
+        static_cast<double>(out.volume_mounted_checks) / active_seconds.size();
+  }
+
+  // --- Per-session statistics -------------------------------------------------
+  uint64_t successful_opens = 0;
+  uint64_t control_only = 0;
+  uint64_t data_sessions = 0;
+  uint64_t batch_sessions = 0;
+  for (const Instance& s : instances.rows()) {
+    if (s.open_failed) {
+      continue;
+    }
+    ++successful_opens;
+    if (!s.HasData()) {
+      ++control_only;
+      continue;
+    }
+    ++data_sessions;
+    // Follow-up gaps within the session (complete -> next start).
+    int64_t last_read_end = 0;
+    int64_t last_write_end = 0;
+    for (const RwOp& op : s.ops) {
+      if (op.write) {
+        if (last_write_end > 0 && op.start_ticks >= last_write_end) {
+          out.write_gap_us.Add(SimDuration(op.start_ticks - last_write_end).ToMicrosF());
+        }
+        last_write_end = op.complete_ticks;
+      } else {
+        if (last_read_end > 0 && op.start_ticks >= last_read_end) {
+          out.read_gap_us.Add(SimDuration(op.start_ticks - last_read_end).ToMicrosF());
+        }
+        last_read_end = op.complete_ticks;
+      }
+    }
+    // "In 70% of the file opens, read/write actions were performed in batch
+    // form, and the file was closed again": the session ends within 100 ms
+    // of its last transfer.
+    if (s.cleanup_time > 0 && !s.ops.empty()) {
+      const int64_t last_op = s.ops.back().complete_ticks;
+      if (s.cleanup_time - last_op <= SimDuration::Millis(100).ticks()) {
+        ++batch_sessions;
+      }
+    }
+  }
+  out.read_gap_us.Finalize();
+  out.write_gap_us.Finalize();
+  if (!out.read_gap_us.empty()) {
+    out.read_gap_p80_us = out.read_gap_us.Percentile(0.80);
+  }
+  if (!out.write_gap_us.empty()) {
+    out.write_gap_p80_us = out.write_gap_us.Percentile(0.80);
+  }
+  if (successful_opens > 0) {
+    out.control_only_open_fraction = static_cast<double>(control_only) / successful_opens;
+  }
+  if (data_sessions > 0) {
+    out.batch_session_fraction = static_cast<double>(batch_sessions) / data_sessions;
+  }
+  return out;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,66 @@
+#include "src/analysis/patterns.h"
+
+namespace ntrace {
+
+TransferPattern ClassifyPattern(const Instance& session, uint32_t fuzz_mask) {
+  const std::vector<RwOp>& ops = session.ops;
+  if (ops.empty()) {
+    return TransferPattern::kRandom;
+  }
+  const uint64_t mask = ~static_cast<uint64_t>(fuzz_mask);
+  bool sequential = true;
+  uint64_t expected = ops.front().offset;
+  uint64_t total = 0;
+  for (const RwOp& op : ops) {
+    if ((op.offset & mask) != (expected & mask)) {
+      sequential = false;
+      break;
+    }
+    expected = op.offset + op.length;
+    total += op.length;
+  }
+  if (!sequential) {
+    return TransferPattern::kRandom;
+  }
+  const bool from_start = ops.front().offset == 0;
+  // "Transfers fewer bytes than the size of the file at close time" makes a
+  // sequential session partial; max_file_size approximates size-at-close.
+  const bool covered = total >= session.max_file_size && session.max_file_size > 0;
+  if (from_start && covered) {
+    return TransferPattern::kWholeFile;
+  }
+  return TransferPattern::kOtherSequential;
+}
+
+UsageMode ClassifyUsage(const Instance& session) {
+  if (session.ReadWrite()) {
+    return UsageMode::kReadWrite;
+  }
+  return session.WriteOnly() ? UsageMode::kWriteOnly : UsageMode::kReadOnly;
+}
+
+std::vector<SequentialRun> ExtractRuns(const Instance& session) {
+  std::vector<SequentialRun> runs;
+  SequentialRun current;
+  uint64_t expected = 0;
+  bool active = false;
+  for (const RwOp& op : session.ops) {
+    const bool continues = active && op.write == current.write && op.offset == expected;
+    if (!continues) {
+      if (active && current.bytes > 0) {
+        runs.push_back(current);
+      }
+      current = SequentialRun{0, 0, op.write};
+      active = true;
+    }
+    current.bytes += op.length;
+    ++current.ops;
+    expected = op.offset + op.length;
+  }
+  if (active && current.bytes > 0) {
+    runs.push_back(current);
+  }
+  return runs;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,53 @@
+// Access-pattern classification shared by the table-3 and figure-1/2
+// analyses.
+//
+// The BSD/Sprite taxonomy the paper reuses (section 6.2): an open-close
+// session is *whole-file sequential* when its transfers start at offset 0,
+// each transfer begins where the previous ended, and the session moves at
+// least the file's size; *other sequential* when transfers are sequential
+// but partial; *random* otherwise. A *sequential run* is a maximal chain of
+// same-direction transfers each starting where the previous one ended.
+
+#ifndef SRC_ANALYSIS_PATTERNS_H_
+#define SRC_ANALYSIS_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tracedb/instance_table.h"
+
+namespace ntrace {
+
+enum class TransferPattern : uint8_t {
+  kWholeFile,
+  kOtherSequential,
+  kRandom,
+};
+
+enum class UsageMode : uint8_t {
+  kReadOnly,
+  kWriteOnly,
+  kReadWrite,
+};
+
+// Classifies the session's transfer pattern. `fuzz_mask` optionally ignores
+// low offset bits when matching (the cache manager's 7-bit fuzzy notion of
+// sequentiality, section 9.1); 0 = exact matching as the older studies did.
+TransferPattern ClassifyPattern(const Instance& session, uint32_t fuzz_mask = 0);
+
+// Usage mode of a data session (requires session.HasData()).
+UsageMode ClassifyUsage(const Instance& session);
+
+// One maximal sequential run.
+struct SequentialRun {
+  uint64_t bytes = 0;
+  uint32_t ops = 0;
+  bool write = false;
+};
+
+// Extracts the sequential runs of a session, reads and writes separately.
+std::vector<SequentialRun> ExtractRuns(const Instance& session);
+
+}  // namespace ntrace
+
+#endif  // SRC_ANALYSIS_PATTERNS_H_

@@ -1,0 +1,85 @@
+#include "src/analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/format.h"
+
+namespace ntrace {
+
+ComparisonReport::ComparisonReport(std::string title) : title_(std::move(title)) {}
+
+void ComparisonReport::AddRow(const std::string& metric, const std::string& paper_value,
+                              const std::string& measured_value, const std::string& note) {
+  rows_.push_back({metric, paper_value, measured_value, note});
+}
+
+void ComparisonReport::AddPercent(const std::string& metric, double paper_pct,
+                                  double measured_fraction, const std::string& note) {
+  AddRow(metric, FormatF(paper_pct, 0) + "%", FormatPct(measured_fraction), note);
+}
+
+void ComparisonReport::AddValue(const std::string& metric, const std::string& paper_value,
+                                double measured, const std::string& note) {
+  AddRow(metric, paper_value, FormatF(measured), note);
+}
+
+void ComparisonReport::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%s", RenderTable({"metric", "paper", "measured", "note"}, rows_).c_str());
+}
+
+std::vector<double> LogProbePoints(double lo, double hi, int per_decade) {
+  std::vector<double> points;
+  const double step = 1.0 / per_decade;
+  for (double lg = std::log10(lo); lg <= std::log10(hi) + 1e-9; lg += step) {
+    points.push_back(std::pow(10.0, lg));
+  }
+  return points;
+}
+
+void PrintCdfSeries(const std::string& title, const WeightedCdf& cdf,
+                    const std::vector<double>& probe_points, const std::string& unit) {
+  std::printf("\n--- %s (n=%zu) ---\n", title.c_str(), cdf.size());
+  if (cdf.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  for (double p : probe_points) {
+    std::printf("  <= %12.4g %-8s : %6.2f%%\n", p, unit.c_str(), 100.0 * cdf.Fraction(p));
+  }
+}
+
+void PrintLlcd(const std::string& title, const LlcdSeries& series, size_t max_rows) {
+  std::printf("\n--- %s (LLCD, alpha_hat=%.2f, r2=%.3f) ---\n", title.c_str(),
+              series.alpha_hat, series.fit_r2);
+  if (series.log_x.empty()) {
+    std::printf("  (no tail)\n");
+    return;
+  }
+  const size_t stride = std::max<size_t>(1, series.log_x.size() / max_rows);
+  std::printf("  %-14s %-14s\n", "log10(x)", "log10 P[X>x]");
+  for (size_t i = 0; i < series.log_x.size(); i += stride) {
+    std::printf("  %-14.3f %-14.3f\n", series.log_x[i], series.log_ccdf[i]);
+  }
+}
+
+void PrintArrivalComparison(const std::string& title, const std::vector<double>& trace_counts,
+                            const std::vector<double>& poisson_counts, size_t max_rows) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  const size_t n = std::max(trace_counts.size(), poisson_counts.size());
+  if (n == 0) {
+    std::printf("  (no data)\n");
+    return;
+  }
+  const size_t stride = std::max<size_t>(1, n / max_rows);
+  std::printf("  %-10s %-12s %-12s\n", "interval", "trace", "poisson");
+  for (size_t i = 0; i < n; i += stride) {
+    const double t = i < trace_counts.size() ? trace_counts[i] : 0;
+    const double p = i < poisson_counts.size() ? poisson_counts[i] : 0;
+    std::printf("  %-10zu %-12.0f %-12.0f\n", i, t, p);
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,58 @@
+// Figures 5, 11, 12 and the section 8.1 open/close characteristics:
+// open-request inter-arrivals, file open times, session lifetimes, file
+// reuse, and the two-stage cleanup/close latency split.
+
+#ifndef SRC_ANALYSIS_SESSIONS_H_
+#define SRC_ANALYSIS_SESSIONS_H_
+
+#include <cstdint>
+
+#include "src/stats/descriptive.h"
+#include "src/trace/trace_set.h"
+#include "src/tracedb/instance_table.h"
+
+namespace ntrace {
+
+struct SessionResult {
+  // Figure 5: open durations of data sessions (milliseconds), overall and
+  // split by volume locality.
+  WeightedCdf open_time_all_ms;
+  WeightedCdf open_time_local_ms;
+  WeightedCdf open_time_network_ms;
+  double data_open_p75_ms = 0;  // Paper: ~10 ms (vs 250 ms in Sprite).
+
+  // Figure 11: open-request inter-arrival (milliseconds), by purpose.
+  WeightedCdf open_interarrival_io_ms;
+  WeightedCdf open_interarrival_control_ms;
+  double interarrival_p40_ms = 0;  // Paper: 40% within 1 ms.
+  double interarrival_p90_ms = 0;  // Paper: 90% within 30 ms.
+
+  // Figure 12: session lifetime (ms) by usage type.
+  WeightedCdf session_all_ms;
+  WeightedCdf session_control_ms;
+  WeightedCdf session_data_ms;
+  double session_p40_ms = 0;  // Paper: 40% close within 1 ms.
+  double session_p90_ms = 0;  // Paper: 90% within 1 s.
+
+  // Section 8.1: cleanup -> close gap (microseconds).
+  WeightedCdf close_gap_read_us;   // Read-cached: 4-50 us.
+  WeightedCdf close_gap_write_us;  // Write-cached: 1-4 s.
+
+  // Reuse: fraction of read-only-opened files re-opened in the trace, and
+  // of write-only files re-opened for reading (section 8.1).
+  double readonly_reopen_fraction = 0;
+  double writeonly_reopened_for_read_fraction = 0;
+
+  // Fraction of 1-second intervals of the trace that contain any open
+  // request ("only up to 24% ... have open requests recorded").
+  double seconds_with_opens_fraction = 0;
+};
+
+class SessionAnalyzer {
+ public:
+  static SessionResult Analyze(const TraceSet& trace, const InstanceTable& instances);
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_ANALYSIS_SESSIONS_H_

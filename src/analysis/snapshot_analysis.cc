@@ -1,0 +1,158 @@
+#include "src/analysis/snapshot_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/base/format.h"
+
+namespace ntrace {
+
+std::vector<std::string> SnapshotAnalyzer::RecordPaths(const Snapshot& snapshot) {
+  std::vector<std::string> paths;
+  paths.reserve(snapshot.records.size());
+  std::vector<std::string> stack;
+  for (const SnapshotRecord& r : snapshot.records) {
+    stack.resize(r.depth);
+    std::string path;
+    for (const std::string& part : stack) {
+      if (!part.empty()) {
+        path += part;
+        path += '\\';
+      }
+    }
+    path += r.name;
+    paths.push_back(path);
+    if (r.directory) {
+      stack.push_back(r.name);
+    }
+  }
+  return paths;
+}
+
+ContentSummary SnapshotAnalyzer::SummarizeContent(const Snapshot& snapshot) {
+  ContentSummary out;
+  out.fullness = snapshot.capacity_bytes > 0
+                     ? static_cast<double>(snapshot.used_bytes) / snapshot.capacity_bytes
+                     : 0;
+  const std::vector<std::string> paths = RecordPaths(snapshot);
+
+  std::array<uint64_t, kNumFileCategories> bytes{};
+  std::array<uint64_t, kNumFileCategories> counts{};
+  uint64_t total_bytes = 0;
+  uint64_t profile_files = 0;
+  uint64_t anomalies = 0;
+
+  for (size_t i = 0; i < snapshot.records.size(); ++i) {
+    const SnapshotRecord& r = snapshot.records[i];
+    if (r.directory) {
+      ++out.directories;
+      continue;
+    }
+    ++out.files;
+    total_bytes += r.size;
+    out.file_sizes.Add(static_cast<double>(r.size));
+    const FileCategory cat = FileTypeDimension::CategoryOfExtension(PathExtension(r.name));
+    bytes[static_cast<size_t>(cat)] += r.size;
+    ++counts[static_cast<size_t>(cat)];
+    const std::string lower = AsciiLower(paths[i]);
+    if (lower.find("profiles\\") != std::string::npos) {
+      ++profile_files;
+      if (lower.find("temporary internet files") != std::string::npos) {
+        ++out.web_cache_files;
+        out.web_cache_bytes += r.size;
+      }
+    }
+    if (r.creation_time.ticks() != 0 && r.last_access_time.ticks() != 0 &&
+        r.creation_time > r.last_access_time) {
+      ++anomalies;
+    }
+  }
+  out.file_sizes.Finalize();
+  if (total_bytes > 0) {
+    for (size_t c = 0; c < bytes.size(); ++c) {
+      out.bytes_share[c] = static_cast<double>(bytes[c]) / total_bytes;
+    }
+  }
+  if (out.files > 0) {
+    for (size_t c = 0; c < counts.size(); ++c) {
+      out.count_share[c] = static_cast<double>(counts[c]) / out.files;
+    }
+    out.profile_file_share = static_cast<double>(profile_files) / out.files;
+    out.creation_after_access_fraction = static_cast<double>(anomalies) / out.files;
+  }
+  return out;
+}
+
+ChurnSummary SnapshotAnalyzer::AnalyzeChurn(const SnapshotSeries& series) {
+  ChurnSummary out;
+  uint64_t profile_changes = 0;
+  uint64_t cache_changes = 0;
+  uint64_t all_changes = 0;
+
+  for (size_t i = 1; i < series.snapshots.size(); ++i) {
+    const Snapshot& prev = series.snapshots[i - 1];
+    const Snapshot& curr = series.snapshots[i];
+    const std::vector<std::string> prev_paths = RecordPaths(prev);
+    const std::vector<std::string> curr_paths = RecordPaths(curr);
+
+    std::unordered_map<std::string, const SnapshotRecord*> prev_map;
+    for (size_t j = 0; j < prev.records.size(); ++j) {
+      if (!prev.records[j].directory) {
+        prev_map.emplace(AsciiLower(prev_paths[j]), &prev.records[j]);
+      }
+    }
+    uint64_t day_changes = 0;
+    std::unordered_map<std::string, bool> seen;
+    for (size_t j = 0; j < curr.records.size(); ++j) {
+      if (curr.records[j].directory) {
+        continue;
+      }
+      const std::string key = AsciiLower(curr_paths[j]);
+      seen.emplace(key, true);
+      auto it = prev_map.find(key);
+      bool changed = false;
+      if (it == prev_map.end()) {
+        ++out.total_added;
+        changed = true;
+      } else if (it->second->size != curr.records[j].size ||
+                 it->second->last_write_time != curr.records[j].last_write_time) {
+        ++out.total_modified;
+        changed = true;
+      }
+      if (changed) {
+        ++day_changes;
+        ++all_changes;
+        if (key.find("profiles\\") != std::string::npos) {
+          ++profile_changes;
+          if (key.find("temporary internet files") != std::string::npos) {
+            ++cache_changes;
+          }
+        }
+      }
+    }
+    for (const auto& [key, rec] : prev_map) {
+      (void)rec;
+      if (seen.count(key) == 0) {
+        ++out.total_removed;
+        ++day_changes;
+        ++all_changes;
+        if (key.find("profiles\\") != std::string::npos) {
+          ++profile_changes;
+          if (key.find("temporary internet files") != std::string::npos) {
+            ++cache_changes;
+          }
+        }
+      }
+    }
+    out.files_changed_per_day.Add(static_cast<double>(day_changes));
+  }
+  if (all_changes > 0) {
+    out.profile_change_share = static_cast<double>(profile_changes) / all_changes;
+  }
+  if (profile_changes > 0) {
+    out.web_cache_change_share = static_cast<double>(cache_changes) / profile_changes;
+  }
+  return out;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,58 @@
+// Section 5: file system content characteristics, from the daily snapshot
+// series -- counts, fullness, type-weighted size distributions, churn
+// localization (profile tree / WWW cache), and timestamp reliability.
+
+#ifndef SRC_ANALYSIS_SNAPSHOT_ANALYSIS_H_
+#define SRC_ANALYSIS_SNAPSHOT_ANALYSIS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/trace/snapshot.h"
+#include "src/tracedb/dimensions.h"
+
+namespace ntrace {
+
+struct ContentSummary {
+  uint64_t files = 0;
+  uint64_t directories = 0;
+  double fullness = 0;  // used/capacity (paper: 54%-87%).
+  // Share of total bytes per file category (executables/dlls/fonts dominate).
+  std::array<double, kNumFileCategories> bytes_share{};
+  std::array<double, kNumFileCategories> count_share{};
+  // Share of *files* living under the profile tree.
+  double profile_file_share = 0;
+  uint64_t web_cache_files = 0;
+  uint64_t web_cache_bytes = 0;
+  // Timestamp anomalies: creation time after last access (paper: 2-4%).
+  double creation_after_access_fraction = 0;
+  WeightedCdf file_sizes;
+};
+
+struct ChurnSummary {
+  // Per consecutive snapshot pair.
+  StreamingStats files_changed_per_day;   // Paper: 300-500, peaks 2.5k-3k.
+  double profile_change_share = 0;        // Paper: ~94% of changes in profile.
+  double web_cache_change_share = 0;      // Paper: up to 90% of profile changes.
+  uint64_t total_added = 0;
+  uint64_t total_removed = 0;
+  uint64_t total_modified = 0;
+};
+
+class SnapshotAnalyzer {
+ public:
+  static ContentSummary SummarizeContent(const Snapshot& snapshot);
+
+  // Churn across a time-ordered series of snapshots of one volume.
+  static ChurnSummary AnalyzeChurn(const SnapshotSeries& series);
+
+  // Reconstructs full relative paths from the pre-order record sequence.
+  static std::vector<std::string> RecordPaths(const Snapshot& snapshot);
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_ANALYSIS_SNAPSHOT_ANALYSIS_H_

@@ -1,0 +1,77 @@
+#include "src/analysis/user_activity.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace ntrace {
+namespace {
+
+UserActivityRow AnalyzeInterval(const TraceSet& trace, double interval_seconds,
+                                uint64_t threshold_bytes) {
+  // bytes[(system, interval)] over data-transfer records.
+  std::map<std::pair<uint32_t, int64_t>, uint64_t> bytes;
+  int64_t last_interval = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (!IsDataTransfer(r.Event()) || r.IsCacheInduced()) {
+      continue;
+    }
+    const int64_t interval = static_cast<int64_t>(
+        r.CompleteTime().ToSecondsF() / interval_seconds);
+    bytes[{r.system_id, interval}] += r.returned;
+    last_interval = std::max(last_interval, interval);
+  }
+
+  UserActivityRow row;
+  row.interval_seconds = interval_seconds;
+  if (bytes.empty()) {
+    return row;
+  }
+
+  // Active-user counts per interval, and per-(user, interval) throughput.
+  std::map<int64_t, int> active;
+  StreamingStats user_throughput;
+  double peak_user = 0;
+  std::map<int64_t, double> system_wide;
+  for (const auto& [key, b] : bytes) {
+    if (b <= threshold_bytes) {
+      continue;  // Background service noise, not user activity.
+    }
+    ++active[key.second];
+    const double kbs = static_cast<double>(b) / 1024.0 / interval_seconds;
+    user_throughput.Add(kbs);
+    peak_user = std::max(peak_user, kbs);
+    system_wide[key.second] += kbs;
+  }
+
+  StreamingStats active_stats;
+  for (int64_t i = 0; i <= last_interval; ++i) {
+    auto it = active.find(i);
+    const int n = it == active.end() ? 0 : it->second;
+    if (n > 0) {
+      active_stats.Add(n);
+      row.max_active_users = std::max(row.max_active_users, n);
+    }
+  }
+  row.avg_active_users = active_stats.mean();
+  row.avg_active_users_sd = active_stats.stddev();
+  row.avg_user_throughput_kbs = user_throughput.mean();
+  row.avg_user_throughput_sd = user_throughput.stddev();
+  row.peak_user_throughput_kbs = peak_user;
+  for (const auto& [_, total] : system_wide) {
+    row.peak_system_wide_kbs = std::max(row.peak_system_wide_kbs, total);
+  }
+  return row;
+}
+
+}  // namespace
+
+UserActivityResult UserActivityAnalyzer::Analyze(const TraceSet& trace,
+                                                 uint64_t background_threshold_bytes) {
+  UserActivityResult result;
+  result.ten_minutes = AnalyzeInterval(trace, 600.0, background_threshold_bytes * 60);
+  result.ten_seconds = AnalyzeInterval(trace, 10.0, background_threshold_bytes);
+  return result;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,102 @@
+#include "src/base/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ntrace {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::UniformReal(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; draw u1 away from 0 to keep log() finite.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  assert(total > 0.0);
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace ntrace

@@ -1,0 +1,49 @@
+#include "src/base/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ntrace {
+
+SimDuration SimDuration::FromSecondsF(double s) {
+  return SimDuration(static_cast<int64_t>(std::llround(s * kTicksPerSecond)));
+}
+
+SimDuration SimDuration::FromMillisF(double ms) {
+  return SimDuration(static_cast<int64_t>(std::llround(ms * kTicksPerMilli)));
+}
+
+SimDuration SimDuration::FromMicrosF(double us) {
+  return SimDuration(static_cast<int64_t>(std::llround(us * kTicksPerMicro)));
+}
+
+std::string SimDuration::ToString() const {
+  char buf[64];
+  const double us = ToMicrosF();
+  const double abs_us = std::fabs(us);
+  if (abs_us < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us);
+  } else if (abs_us < 1000.0 * 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us / 1000.0);
+  } else if (abs_us < 60.0 * 1000.0 * 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us / (1000.0 * 1000.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", us / (60.0 * 1000.0 * 1000.0));
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  const double s = ToSecondsF();
+  const int64_t days = static_cast<int64_t>(s / 86400.0);
+  const double rem = s - static_cast<double>(days) * 86400.0;
+  const int hours = static_cast<int>(rem / 3600.0);
+  const int mins = static_cast<int>((rem - hours * 3600.0) / 60.0);
+  const double secs = rem - hours * 3600.0 - mins * 60.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "d%lld %02d:%02d:%06.3f", static_cast<long long>(days), hours,
+                mins, secs);
+  return buf;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,91 @@
+// Simulated time for the NT I/O subsystem model.
+//
+// Windows NT timestamps (FILETIME, and the trace records in the paper) have a
+// granularity of 100 nanoseconds. All simulated clocks, durations and trace
+// timestamps in this library use the same unit so that trace records can be
+// compared 1:1 with the paper's.
+
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ntrace {
+
+// A span of simulated time in 100 ns ticks. Value type; cheap to copy.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(int64_t ticks) : ticks_(ticks) {}
+
+  static constexpr SimDuration Ticks(int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(int64_t n) { return SimDuration(n * kTicksPerMicro); }
+  static constexpr SimDuration Millis(int64_t n) { return SimDuration(n * kTicksPerMilli); }
+  static constexpr SimDuration Seconds(int64_t n) { return SimDuration(n * kTicksPerSecond); }
+  static constexpr SimDuration Minutes(int64_t n) { return SimDuration(n * 60 * kTicksPerSecond); }
+  static constexpr SimDuration Hours(int64_t n) { return SimDuration(n * 3600 * kTicksPerSecond); }
+  static constexpr SimDuration Days(int64_t n) { return SimDuration(n * 86400 * kTicksPerSecond); }
+
+  // Fractional constructors, for latency models.
+  static SimDuration FromSecondsF(double s);
+  static SimDuration FromMillisF(double ms);
+  static SimDuration FromMicrosF(double us);
+
+  constexpr int64_t ticks() const { return ticks_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ticks_) / kTicksPerSecond; }
+  constexpr double ToMillisF() const { return static_cast<double>(ticks_) / kTicksPerMilli; }
+  constexpr double ToMicrosF() const { return static_cast<double>(ticks_) / kTicksPerMicro; }
+
+  constexpr bool IsZero() const { return ticks_ == 0; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ticks_ + o.ticks_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ticks_ - o.ticks_); }
+  constexpr SimDuration operator*(int64_t k) const { return SimDuration(ticks_ * k); }
+  constexpr SimDuration operator/(int64_t k) const { return SimDuration(ticks_ / k); }
+  SimDuration& operator+=(SimDuration o) {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  // Human-readable rendering with an auto-selected unit ("3.2ms", "1.5s").
+  std::string ToString() const;
+
+  static constexpr int64_t kTicksPerMicro = 10;
+  static constexpr int64_t kTicksPerMilli = 10 * 1000;
+  static constexpr int64_t kTicksPerSecond = 10 * 1000 * 1000;
+
+ private:
+  int64_t ticks_ = 0;
+};
+
+// An absolute point on the simulated clock, in 100 ns ticks since simulation
+// start (tick 0 is the epoch; the workload layer decides what wall-clock
+// moment that corresponds to).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ticks) : ticks_(ticks) {}
+
+  constexpr int64_t ticks() const { return ticks_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ticks_) / SimDuration::kTicksPerSecond; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ticks_ + d.ticks()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(ticks_ - d.ticks()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ticks_ - o.ticks_); }
+  SimTime& operator+=(SimDuration d) {
+    ticks_ += d.ticks();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t ticks_ = 0;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_BASE_TIME_H_

@@ -1,0 +1,61 @@
+#include "src/fs/disk.h"
+
+namespace ntrace {
+
+DiskProfile DiskProfile::Ide() {
+  DiskProfile p;
+  p.controller_overhead = SimDuration::Micros(500);
+  p.average_seek = SimDuration::Millis(9);
+  p.rotational_latency = SimDuration::Millis(5);  // ~5400 rpm.
+  p.mb_per_second = 8.0;
+  return p;
+}
+
+DiskProfile DiskProfile::ScsiUltra2() {
+  DiskProfile p;
+  p.controller_overhead = SimDuration::Micros(200);
+  p.average_seek = SimDuration::Millis(6);
+  p.rotational_latency = SimDuration::Millis(3);  // ~10000 rpm.
+  p.mb_per_second = 18.0;
+  return p;
+}
+
+DiskProfile DiskProfile::Server() {
+  DiskProfile p;
+  p.controller_overhead = SimDuration::Micros(200);
+  p.average_seek = SimDuration::Millis(7);
+  p.rotational_latency = SimDuration::Millis(3);
+  p.mb_per_second = 14.0;
+  return p;
+}
+
+Disk::Disk(DiskProfile profile, uint64_t rng_seed) : profile_(profile), rng_(rng_seed) {}
+
+SimDuration Disk::Access(uint64_t position, uint64_t bytes, bool write) {
+  SimDuration latency = profile_.controller_overhead;
+  if (position == head_position_) {
+    ++sequential_hits_;
+  } else {
+    // Positioning: draw seek in [0.2, 1.8] x average (uniform spread keeps
+    // the model simple; the heavy tails in the study come from the workload,
+    // not the device), plus half-rotation on average.
+    const double seek_scale = rng_.UniformReal(0.2, 1.8);
+    latency += SimDuration::Ticks(
+        static_cast<int64_t>(profile_.average_seek.ticks() * seek_scale));
+    latency += profile_.rotational_latency;
+  }
+  const double transfer_seconds =
+      static_cast<double>(bytes) / (profile_.mb_per_second * 1024.0 * 1024.0);
+  latency += SimDuration::FromSecondsF(transfer_seconds);
+  head_position_ = position + bytes;
+  if (write) {
+    ++writes_;
+    bytes_written_ += bytes;
+  } else {
+    ++reads_;
+    bytes_read_ += bytes;
+  }
+  return latency;
+}
+
+}  // namespace ntrace

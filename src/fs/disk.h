@@ -1,0 +1,63 @@
+// Disk service-time model.
+//
+// The machines of the study carried 2-6 GB local IDE disks (walk-up, pool,
+// personal, administrative categories) or 9-18 GB SCSI Ultra-2 disks
+// (scientific category), with network file servers reached over 100 Mbit/s
+// switched Ethernet (paper, section 2). This model produces per-request
+// latency: controller overhead + positioning (seek + rotation, waived for
+// sequential continuation) + transfer at the media rate. It is a service
+// time model, not a queueing model (see DESIGN.md).
+
+#ifndef SRC_FS_DISK_H_
+#define SRC_FS_DISK_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+
+namespace ntrace {
+
+struct DiskProfile {
+  SimDuration controller_overhead = SimDuration::Micros(300);
+  SimDuration average_seek = SimDuration::Millis(9);
+  SimDuration rotational_latency = SimDuration::Millis(4);  // Half-rotation average.
+  double mb_per_second = 8.0;
+
+  // Late-1990s IDE disk (the study's desktop machines).
+  static DiskProfile Ide();
+  // SCSI Ultra-2 (the scientific machines).
+  static DiskProfile ScsiUltra2();
+  // A server-class disk behind the network redirector.
+  static DiskProfile Server();
+};
+
+class Disk {
+ public:
+  Disk(DiskProfile profile, uint64_t rng_seed = 0xD15C);
+
+  // Service time for a request of `bytes` at pseudo-position `position`.
+  // A request that starts where the previous one ended skips positioning.
+  SimDuration Access(uint64_t position, uint64_t bytes, bool write);
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t sequential_hits() const { return sequential_hits_; }
+
+ private:
+  DiskProfile profile_;
+  Rng rng_;
+  // Starts "parked" so the first access pays full positioning.
+  uint64_t head_position_ = UINT64_MAX;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t sequential_hits_ = 0;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_FS_DISK_H_

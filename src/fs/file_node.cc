@@ -1,0 +1,189 @@
+#include "src/fs/file_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+#include "src/base/format.h"
+
+namespace ntrace {
+
+bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b) const {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    const int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) {
+      return ca < cb;
+    }
+  }
+  return a.size() < b.size();
+}
+
+std::string FileNode::RelativePath() const {
+  if (parent_ == nullptr) {
+    return "";
+  }
+  std::vector<const FileNode*> chain;
+  for (const FileNode* n = this; n->parent_ != nullptr; n = n->parent_) {
+    chain.push_back(n);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) {
+      out += '\\';
+    }
+    out += (*it)->name();
+  }
+  return out;
+}
+
+FileNode* FileNode::FindChild(const std::string& name) {
+  auto it = children_.find(name);
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+FileNode* FileNode::AddChild(std::unique_ptr<FileNode> child) {
+  assert(directory_);
+  child->parent_ = this;
+  FileNode* raw = child.get();
+  children_[child->name()] = std::move(child);
+  return raw;
+}
+
+std::unique_ptr<FileNode> FileNode::DetachChild(const std::string& name) {
+  auto it = children_.find(name);
+  if (it == children_.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<FileNode> out = std::move(it->second);
+  children_.erase(it);
+  out->parent_ = nullptr;
+  return out;
+}
+
+Volume::Volume(std::string label, uint64_t capacity_bytes, bool maintain_access_times)
+    : label_(std::move(label)),
+      capacity_bytes_(capacity_bytes),
+      maintain_access_times_(maintain_access_times) {
+  root_ = std::make_unique<FileNode>(next_node_id_++, "", /*directory=*/true);
+  root_->attributes = kAttrDirectory;
+}
+
+FileNode* Volume::Lookup(const std::string& relative_path) {
+  FileNode* node = root_.get();
+  for (const std::string& part : SplitPath(relative_path)) {
+    if (!node->directory()) {
+      return nullptr;
+    }
+    node = node->FindChild(part);
+    if (node == nullptr) {
+      return nullptr;
+    }
+  }
+  return node;
+}
+
+FileNode* Volume::LookupParent(const std::string& relative_path, std::string* leaf) {
+  const std::vector<std::string> parts = SplitPath(relative_path);
+  if (parts.empty()) {
+    return nullptr;  // The root has no parent.
+  }
+  FileNode* node = root_.get();
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!node->directory()) {
+      return nullptr;
+    }
+    node = node->FindChild(parts[i]);
+    if (node == nullptr) {
+      return nullptr;
+    }
+  }
+  if (!node->directory()) {
+    return nullptr;
+  }
+  *leaf = parts.back();
+  return node;
+}
+
+FileNode* Volume::CreateNode(FileNode* parent, const std::string& name, bool directory,
+                             uint32_t attributes, SimTime now) {
+  assert(parent != nullptr && parent->directory());
+  assert(parent->FindChild(name) == nullptr);
+  auto node = std::make_unique<FileNode>(next_node_id_++, name, directory);
+  node->attributes = directory ? (attributes | kAttrDirectory) : attributes;
+  node->creation_time = now;
+  node->last_access_time = now;
+  node->last_write_time = now;
+  node->disk_position = AssignDiskPosition(0);
+  return parent->AddChild(std::move(node));
+}
+
+FileNode* Volume::CreatePath(const std::string& relative_path, bool directory,
+                             uint32_t attributes, SimTime now) {
+  const std::vector<std::string> parts = SplitPath(relative_path);
+  FileNode* node = root_.get();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const bool leaf = i + 1 == parts.size();
+    FileNode* child = node->FindChild(parts[i]);
+    if (child == nullptr) {
+      child = CreateNode(node, parts[i], leaf ? directory : true,
+                         leaf ? attributes : kAttrDirectory, now);
+    }
+    node = child;
+  }
+  return node;
+}
+
+void Volume::RemoveNode(FileNode* node) {
+  assert(node != nullptr && node->parent() != nullptr);
+  if (!node->directory()) {
+    assert(used_bytes_ >= node->size);
+    used_bytes_ -= node->size;
+  }
+  std::unique_ptr<FileNode> detached = node->parent()->DetachChild(node->name());
+  assert(detached != nullptr);
+  graveyard_.push_back(std::move(detached));
+}
+
+void Volume::NodeResized(FileNode* node, uint64_t new_size) {
+  assert(!node->directory());
+  assert(used_bytes_ >= node->size);
+  used_bytes_ = used_bytes_ - node->size + new_size;
+  node->size = new_size;
+  // Allocation is page granular.
+  node->allocation = (new_size + 4095) / 4096 * 4096;
+}
+
+void Volume::WalkNode(const FileNode& node,
+                      const std::function<void(const FileNode&)>& visit) const {
+  visit(node);
+  for (const auto& [_, child] : node.children()) {
+    WalkNode(*child, visit);
+  }
+}
+
+void Volume::Walk(const std::function<void(const FileNode&)>& visit) const {
+  WalkNode(*root_, visit);
+}
+
+VolumeCounts Volume::Counts() const {
+  VolumeCounts counts;
+  Walk([&counts](const FileNode& node) {
+    if (node.directory()) {
+      ++counts.directories;
+    } else {
+      ++counts.files;
+      counts.total_file_bytes += node.size;
+    }
+  });
+  return counts;
+}
+
+uint64_t Volume::AssignDiskPosition(uint64_t bytes) {
+  const uint64_t pos = next_disk_position_;
+  next_disk_position_ += std::max<uint64_t>(bytes, 4096);
+  return pos;
+}
+
+}  // namespace ntrace

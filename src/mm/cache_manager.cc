@@ -1,0 +1,497 @@
+#include "src/mm/cache_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ntrace {
+
+CacheManager::CacheManager(Engine& engine, IoManager& io, CacheConfig config, uint64_t rng_seed)
+    : engine_(engine), io_(io), config_(config), rng_(rng_seed),
+      pages_(config.capacity_pages) {}
+
+void CacheManager::Start() {
+  assert(!started_);
+  started_ = true;
+  if (config_.lazy_write_enabled) {
+    engine_.SchedulePeriodic(config_.lazy_write_period, config_.lazy_write_period,
+                             [this] { LazyWriterScan(); });
+  }
+}
+
+SimDuration CacheManager::CopyCost(uint32_t bytes) const {
+  return config_.copy_fixed +
+         SimDuration::Ticks(static_cast<int64_t>(bytes * config_.copy_ns_per_byte / 100.0));
+}
+
+void CacheManager::InitializeCacheMap(FileObject& file, const void* node, uint64_t file_size) {
+  auto it = maps_.find(node);
+  SharedCacheMap* map = nullptr;
+  if (it != maps_.end()) {
+    map = it->second.get();
+    if (map->teardown_pending) {
+      // A new open raced the pending teardown: resurrect the map. The old
+      // holder stays referenced until the (re-armed) final teardown.
+      map->teardown_pending = false;
+      ++map->generation;
+      ++stats_.maps_resurrected;
+    }
+    ++map->open_count;
+  } else {
+    auto owned = std::make_unique<SharedCacheMap>();
+    map = owned.get();
+    map->node = node;
+    map->device = file.device();
+    map->holder = &file;
+    map->file_size = file_size;
+    map->granularity = file_size >= config_.boost_threshold ? config_.boosted_granularity
+                                                            : config_.read_ahead_granularity;
+    map->open_count = 1;
+    io_.ReferenceFileObject(file);
+    maps_.emplace(node, std::move(owned));
+    ++stats_.maps_created;
+    map->creation_order = stats_.maps_created;
+  }
+  map->sequential_hint = map->sequential_hint || file.sequential_only;
+  map->temporary = map->temporary || file.temporary;
+  file.shared_cache_map = map;
+  file.caching_initialized = true;
+  private_maps_.emplace(file.id(), PrivateCacheMap{});
+}
+
+bool CacheManager::IsCachingInitialized(const void* node) const {
+  return maps_.count(node) != 0;
+}
+
+SharedCacheMap* CacheManager::FindMap(const void* node) {
+  auto it = maps_.find(node);
+  return it == maps_.end() ? nullptr : it->second.get();
+}
+
+void CacheManager::IssuePagingRead(SharedCacheMap& map, uint64_t offset, uint64_t length,
+                                   uint32_t extra_flags) {
+  Irp irp;
+  irp.major = IrpMajor::kRead;
+  irp.flags = kIrpPagingIo | kIrpCacheFault | extra_flags;
+  irp.file_object = map.holder;
+  irp.process_id = map.holder->process_id();
+  irp.params.offset = offset;
+  irp.params.length = static_cast<uint32_t>(length);
+  io_.CallDriver(map.device, irp);
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  for (uint64_t p = first; p < first + span; ++p) {
+    pages_.Insert(map.node, p, engine_.Now());
+  }
+}
+
+void CacheManager::IssuePagingWrite(SharedCacheMap& map, uint64_t offset, uint64_t length,
+                                    uint32_t extra_flags) {
+  Irp irp;
+  irp.major = IrpMajor::kWrite;
+  irp.flags = kIrpPagingIo | kIrpCacheFault | extra_flags;
+  irp.file_object = map.holder;
+  irp.process_id = map.holder->process_id();
+  irp.params.offset = offset;
+  irp.params.length = static_cast<uint32_t>(length);
+  io_.CallDriver(map.device, irp);
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  for (uint64_t p = first; p < first + span; ++p) {
+    pages_.MarkClean(map.node, p);
+  }
+}
+
+uint64_t CacheManager::FaultMissingPages(SharedCacheMap& map, uint64_t offset, uint64_t length,
+                                         uint32_t extra_flags) {
+  if (length == 0) {
+    return 0;
+  }
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  uint64_t faulted = 0;
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;  // In pages.
+  auto flush_run = [&] {
+    if (run_len == 0) {
+      return;
+    }
+    const uint64_t byte_off = run_start * kPageSize;
+    const uint64_t byte_len = run_len * kPageSize;
+    ++((extra_flags & kIrpReadAhead) != 0 ? stats_.readahead_irps : stats_.fault_irps);
+    ((extra_flags & kIrpReadAhead) != 0 ? stats_.readahead_bytes : stats_.fault_bytes) +=
+        byte_len;
+    IssuePagingRead(map, byte_off, byte_len, extra_flags);
+    faulted += run_len;
+    run_len = 0;
+  };
+  for (uint64_t p = first; p < first + span; ++p) {
+    if (pages_.IsResident(map.node, p)) {
+      pages_.Touch(map.node, p);
+      flush_run();
+      continue;
+    }
+    if (run_len == 0) {
+      run_start = p;
+    } else if (run_start + run_len != p) {
+      flush_run();
+      run_start = p;
+    }
+    ++run_len;
+  }
+  flush_run();
+  return faulted;
+}
+
+void CacheManager::TrackReadAhead(SharedCacheMap& map, FileObject& file, uint64_t offset,
+                                  uint32_t length) {
+  if (!config_.read_ahead_enabled) {
+    return;
+  }
+  auto pit = private_maps_.find(file.id());
+  if (pit == private_maps_.end()) {
+    return;
+  }
+  PrivateCacheMap& priv = pit->second;
+  const uint64_t mask = ~static_cast<uint64_t>(config_.fuzzy_mask);
+  const uint64_t end = offset + length;
+  const bool sequential =
+      priv.last_end_masked != UINT64_MAX && (offset & mask) == priv.last_end_masked;
+  priv.sequential_count = sequential ? priv.sequential_count + 1 : 1;
+  priv.last_end_masked = end & mask;
+
+  const uint64_t gran =
+      static_cast<uint64_t>(map.granularity) * (map.sequential_hint ? 2 : 1);
+
+  // First access after cache initialization: one speculative load covering
+  // the read-ahead granularity from the start of the request (this is the
+  // "single prefetch" that section 9.1 finds sufficient in 92% of
+  // open-for-read cases).
+  if (map.readahead_ops == 0) {
+    const uint64_t ra_start = end;
+    const uint64_t ra_goal = std::min<uint64_t>(map.file_size, offset + gran);
+    priv.high_water = std::max(priv.high_water, end);
+    if (ra_goal > ra_start) {
+      ++map.readahead_ops;
+      ScheduleReadAhead(map, ra_start, ra_goal - ra_start);
+      priv.high_water = std::max(priv.high_water, ra_goal);
+    }
+    return;
+  }
+
+  priv.high_water = std::max(priv.high_water, end);
+
+  // Subsequent read-ahead on the Nth sequential request, extending beyond
+  // the private high-water mark.
+  if (priv.sequential_count >= config_.sequential_detect_count) {
+    const uint64_t ra_start = priv.high_water;
+    const uint64_t ra_goal = std::min<uint64_t>(map.file_size, ra_start + gran);
+    if (ra_goal > ra_start) {
+      ++map.readahead_ops;
+      ScheduleReadAhead(map, ra_start, ra_goal - ra_start);
+      priv.high_water = ra_goal;
+    }
+  }
+}
+
+void CacheManager::ScheduleReadAhead(SharedCacheMap& map, uint64_t offset, uint64_t length) {
+  // Read-ahead runs on a cache-manager worker thread, asynchronously to the
+  // requesting thread: model it as a near-future event guarded against
+  // teardown by the map generation.
+  const void* node = map.node;
+  const uint64_t gen = map.generation;
+  engine_.Schedule(config_.read_ahead_dispatch_delay, [this, node, gen, offset, length] {
+    SharedCacheMap* m = FindMap(node);
+    if (m == nullptr || m->generation != gen) {
+      return;
+    }
+    FaultMissingPages(*m, offset, length, kIrpReadAhead);
+  });
+}
+
+CacheManager::CopyResult CacheManager::CopyRead(FileObject& file, uint64_t offset,
+                                                uint32_t length) {
+  SharedCacheMap* map = file.shared_cache_map;
+  assert(map != nullptr && "CopyRead without initialized caching");
+  ++stats_.copy_reads;
+  stats_.copy_read_bytes += length;
+  const uint64_t faulted = FaultMissingPages(*map, offset, length, 0);
+  if (faulted == 0) {
+    ++stats_.copy_read_hits;
+  }
+  engine_.AdvanceBy(CopyCost(length));
+  TrackReadAhead(*map, file, offset, length);
+  return {faulted == 0, length};
+}
+
+bool CacheManager::CopyReadNoWait(FileObject& file, uint64_t offset, uint32_t length,
+                                  uint64_t* bytes_out) {
+  SharedCacheMap* map = file.shared_cache_map;
+  if (map == nullptr) {
+    return false;
+  }
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  for (uint64_t p = first; p < first + span; ++p) {
+    if (!pages_.IsResident(map->node, p)) {
+      return false;  // Caller retries via the IRP path (blocking fault).
+    }
+  }
+  for (uint64_t p = first; p < first + span; ++p) {
+    pages_.Touch(map->node, p);
+  }
+  ++stats_.copy_reads;
+  ++stats_.copy_read_hits;
+  stats_.copy_read_bytes += length;
+  engine_.AdvanceBy(CopyCost(length));
+  TrackReadAhead(*map, file, offset, length);
+  *bytes_out = length;
+  return true;
+}
+
+uint64_t CacheManager::CopyWrite(FileObject& file, uint64_t offset, uint32_t length) {
+  SharedCacheMap* map = file.shared_cache_map;
+  assert(map != nullptr && "CopyWrite without initialized caching");
+  // Write throttling (NT: CcCanIWrite): when dirty pages crowd the cache,
+  // the writer stalls while this file's backlog is pushed to disk.
+  if (config_.capacity_pages > 0 &&
+      pages_.dirty_pages() > config_.capacity_pages * 3 / 4) {
+    ++stats_.write_throttles;
+    WriteDirtyRuns(*map, pages_.DirtyCountOf(map->node));
+  }
+  ++stats_.copy_writes;
+  stats_.copy_write_bytes += length;
+  map->wrote_data = true;
+
+  const uint64_t old_size = map->file_size;
+  const uint64_t end = offset + length;
+  map->file_size = std::max(map->file_size, end);
+
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  for (uint64_t p = first; p < first + span; ++p) {
+    const uint64_t page_start = p * kPageSize;
+    const uint64_t page_end = page_start + kPageSize;
+    const bool fully_covered = offset <= page_start && end >= page_end;
+    const bool within_old_data = page_start < old_size;
+    if (!fully_covered && within_old_data && !pages_.IsResident(map->node, p)) {
+      // Partial write into existing data: read-modify-write fault.
+      ++stats_.rmw_faults;
+      ++stats_.fault_irps;
+      stats_.fault_bytes += kPageSize;
+      IssuePagingRead(*map, page_start, kPageSize, 0);
+    }
+    pages_.MarkDirty(map->node, p, engine_.Now());
+  }
+  engine_.AdvanceBy(CopyCost(length));
+  return length;
+}
+
+void CacheManager::FlushRange(FileObject& file, uint64_t offset, uint64_t length) {
+  SharedCacheMap* map = file.shared_cache_map;
+  if (map == nullptr) {
+    map = FindMap(file.fs_context);
+    if (map == nullptr) {
+      return;
+    }
+  }
+  ++stats_.flush_ops;
+  const uint64_t flush_end = length == 0 ? UINT64_MAX : offset + length;
+  const std::vector<uint64_t> dirty = pages_.DirtyPagesOf(map->node);
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  auto flush_run = [&] {
+    if (run_len == 0) {
+      return;
+    }
+    const uint64_t bytes = run_len * kPageSize;
+    ++stats_.lazy_write_irps;  // Counted as write-behind traffic either way.
+    stats_.flush_bytes += bytes;
+    IssuePagingWrite(*map, run_start * kPageSize, bytes, 0);
+    run_len = 0;
+  };
+  for (uint64_t p : dirty) {
+    const uint64_t page_start = p * kPageSize;
+    if (page_start + kPageSize <= offset || page_start >= flush_end) {
+      continue;
+    }
+    if (run_len == 0) {
+      run_start = p;
+    } else if (run_start + run_len != p ||
+               run_len * kPageSize >= config_.max_write_run_bytes) {
+      flush_run();
+      run_start = p;
+    }
+    ++run_len;
+  }
+  flush_run();
+}
+
+void CacheManager::SetFileSize(const void* node, uint64_t new_size) {
+  SharedCacheMap* map = FindMap(node);
+  if (map != nullptr) {
+    map->file_size = new_size;
+  }
+  // Drop pages fully beyond the new end of file.
+  const uint64_t first_dropped = (new_size + kPageSize - 1) / kPageSize;
+  pages_.TruncateNode(node, first_dropped);
+}
+
+uint64_t CacheManager::PurgeNode(const void* node) {
+  ++stats_.purge_calls;
+  const uint64_t discarded = pages_.PurgeNode(node);
+  if (discarded > 0) {
+    ++stats_.purges_with_dirty;
+    stats_.dirty_pages_discarded += discarded;
+  }
+  return discarded;
+}
+
+void CacheManager::NodeDeleted(const void* node) {
+  PurgeNode(node);
+  SharedCacheMap* map = FindMap(node);
+  if (map == nullptr) {
+    return;
+  }
+  ++map->generation;  // Invalidate any scheduled teardown/read-ahead work.
+  FileObject* holder = map->holder;
+  maps_.erase(node);
+  ++stats_.teardowns;
+  io_.DereferenceFileObject(*holder);
+}
+
+void CacheManager::CleanupCacheMap(FileObject& file) {
+  SharedCacheMap* map = file.shared_cache_map;
+  if (map == nullptr) {
+    return;
+  }
+  private_maps_.erase(file.id());
+  file.shared_cache_map = nullptr;
+  file.caching_initialized = false;
+  assert(map->open_count > 0);
+  if (--map->open_count > 0) {
+    return;
+  }
+  map->teardown_pending = true;
+  ++map->generation;
+  const void* node = map->node;
+  const uint64_t gen = map->generation;
+  if (pages_.DirtyCountOf(node) == 0) {
+    // Read-cached file: close follows cleanup within tens of microseconds.
+    const int64_t lo = config_.read_close_delay_min.ticks();
+    const int64_t hi = config_.read_close_delay_max.ticks();
+    const SimDuration delay = SimDuration::Ticks(rng_.UniformInt(lo, hi));
+    engine_.Schedule(delay, [this, node, gen] {
+      SharedCacheMap* m = FindMap(node);
+      if (m == nullptr || m->generation != gen || !m->teardown_pending) {
+        return;
+      }
+      FinishTeardown(*m);
+    });
+  }
+  // Otherwise the lazy writer completes the teardown once the node is clean
+  // (typically 1-4 seconds later).
+}
+
+void CacheManager::LazyWriterScan() {
+  ++stats_.lazy_scans;
+  // Collect node keys first (teardown mutates maps_), in creation order:
+  // hash-map order follows heap addresses and would break run determinism.
+  std::vector<std::pair<uint64_t, const void*>> ordered;
+  ordered.reserve(maps_.size());
+  for (const auto& [node, map] : maps_) {
+    ordered.emplace_back(map->creation_order, node);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [_, node] : ordered) {
+    SharedCacheMap* map = FindMap(node);
+    if (map == nullptr) {
+      continue;
+    }
+    const uint64_t dirty = pages_.DirtyCountOf(node);
+    if (dirty == 0) {
+      if (map->teardown_pending) {
+        FinishTeardown(*map);
+      }
+      continue;
+    }
+    if (map->temporary && !map->teardown_pending) {
+      // The temporary attribute keeps the lazy writer away from these pages.
+      stats_.temporary_pages_skipped += dirty;
+      continue;
+    }
+    uint64_t quota;
+    if (map->teardown_pending) {
+      // Drain over a few scans: the paper observes write-cached closes
+      // landing 1-4 seconds after cleanup.
+      quota = std::max<uint64_t>(dirty / 3, 16);
+    } else {
+      quota = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(dirty) * config_.lazy_write_fraction));
+    }
+    WriteDirtyRuns(*map, quota);
+    if (map->teardown_pending && pages_.DirtyCountOf(node) == 0) {
+      FinishTeardown(*map);
+    }
+  }
+}
+
+uint64_t CacheManager::WriteDirtyRuns(SharedCacheMap& map, uint64_t max_pages) {
+  const std::vector<uint64_t> dirty = pages_.DirtyPagesOf(map.node);
+  uint64_t written = 0;
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  auto flush_run = [&] {
+    if (run_len == 0) {
+      return;
+    }
+    const uint64_t byte_off = run_start * kPageSize;
+    // The final page of a file is written whole even when the file ends
+    // mid-page; SetEndOfFile at close trims the excess (section 8.3).
+    const uint64_t byte_len = run_len * kPageSize;
+    ++stats_.lazy_write_irps;
+    stats_.lazy_write_bytes += byte_len;
+    IssuePagingWrite(map, byte_off, byte_len, kIrpLazyWrite);
+    written += run_len;
+    run_len = 0;
+  };
+  for (uint64_t p : dirty) {
+    if (written + run_len >= max_pages) {
+      break;
+    }
+    if (run_len == 0) {
+      run_start = p;
+    } else if (run_start + run_len != p ||
+               run_len * kPageSize >= config_.max_write_run_bytes) {
+      flush_run();
+      run_start = p;
+    }
+    ++run_len;
+  }
+  flush_run();
+  return written;
+}
+
+void CacheManager::FinishTeardown(SharedCacheMap& map) {
+  assert(map.teardown_pending);
+  FileObject* holder = map.holder;
+  const void* node = map.node;
+  if (map.wrote_data) {
+    // Delayed VM writes are page-granular; move the end-of-file mark back to
+    // the true size before the close (section 8.3).
+    ++stats_.seteof_on_close;
+    Irp irp;
+    irp.major = IrpMajor::kSetInformation;
+    // Issued by the cache manager, not the app.
+    irp.flags = kIrpPagingIo | kIrpCacheFault;
+    irp.file_object = holder;
+    irp.process_id = kSystemProcessId;
+    irp.params.info_class = FileInfoClass::kEndOfFile;
+    irp.params.new_size = map.file_size;
+    io_.CallDriver(map.device, irp);
+  }
+  ++stats_.teardowns;
+  maps_.erase(node);  // `map` is dangling after this line.
+  io_.DereferenceFileObject(*holder);
+}
+
+}  // namespace ntrace

@@ -1,0 +1,209 @@
+#include "src/mm/page_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ntrace {
+
+PageStore::PageStore(uint64_t capacity_pages) : capacity_pages_(capacity_pages) {}
+
+bool PageStore::Insert(const void* node, uint64_t page, SimTime now) {
+  const PageKey key{node, page};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Touch(node, page);
+    return false;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.lru_it = lru_.begin();
+  entry.dirtied_at = now;
+  entries_.emplace(key, entry);
+  pages_by_node_[node].insert(page);
+  EvictIfNeeded();
+  return true;
+}
+
+bool PageStore::IsResident(const void* node, uint64_t page) const {
+  return entries_.count(PageKey{node, page}) != 0;
+}
+
+void PageStore::MarkDirty(const void* node, uint64_t page, SimTime now) {
+  const PageKey key{node, page};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Create the entry already-dirty so concurrent eviction pressure can
+    // never reclaim it between insertion and dirtying.
+    lru_.push_front(key);
+    Entry entry;
+    entry.lru_it = lru_.begin();
+    entry.dirty = true;
+    entry.dirtied_at = now;
+    entries_.emplace(key, entry);
+    pages_by_node_[node].insert(page);
+    dirty_by_node_[node].insert(page);
+    ++total_dirty_;
+    EvictIfNeeded();
+    return;
+  }
+  if (!it->second.dirty) {
+    it->second.dirty = true;
+    it->second.dirtied_at = now;
+    dirty_by_node_[node].insert(page);
+    ++total_dirty_;
+  }
+}
+
+void PageStore::MarkClean(const void* node, uint64_t page) {
+  const PageKey key{node, page};
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.dirty) {
+    return;
+  }
+  it->second.dirty = false;
+  auto nit = dirty_by_node_.find(node);
+  if (nit != dirty_by_node_.end()) {
+    nit->second.erase(page);
+    if (nit->second.empty()) {
+      dirty_by_node_.erase(nit);
+    }
+  }
+  assert(total_dirty_ > 0);
+  --total_dirty_;
+}
+
+bool PageStore::IsDirty(const void* node, uint64_t page) const {
+  auto it = entries_.find(PageKey{node, page});
+  return it != entries_.end() && it->second.dirty;
+}
+
+void PageStore::Touch(const void* node, uint64_t page) {
+  auto it = entries_.find(PageKey{node, page});
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+}
+
+void PageStore::Pin(const void* node, uint64_t page) {
+  auto it = entries_.find(PageKey{node, page});
+  if (it != entries_.end()) {
+    it->second.pinned = true;
+  }
+}
+
+void PageStore::Unpin(const void* node, uint64_t page) {
+  auto it = entries_.find(PageKey{node, page});
+  if (it != entries_.end()) {
+    it->second.pinned = false;
+  }
+}
+
+void PageStore::RemoveEntry(const PageKey& key) {
+  auto it = entries_.find(key);
+  assert(it != entries_.end());
+  if (it->second.dirty) {
+    assert(total_dirty_ > 0);
+    --total_dirty_;
+    auto dit = dirty_by_node_.find(key.node);
+    if (dit != dirty_by_node_.end()) {
+      dit->second.erase(key.page);
+      if (dit->second.empty()) {
+        dirty_by_node_.erase(dit);
+      }
+    }
+  }
+  auto pit = pages_by_node_.find(key.node);
+  if (pit != pages_by_node_.end()) {
+    pit->second.erase(key.page);
+    if (pit->second.empty()) {
+      pages_by_node_.erase(pit);
+    }
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+uint64_t PageStore::PurgeNode(const void* node) {
+  auto pit = pages_by_node_.find(node);
+  if (pit == pages_by_node_.end()) {
+    return 0;
+  }
+  const std::vector<uint64_t> pages(pit->second.begin(), pit->second.end());
+  uint64_t dirty_discarded = 0;
+  for (uint64_t page : pages) {
+    const PageKey key{node, page};
+    if (entries_.at(key).dirty) {
+      ++dirty_discarded;
+    }
+    RemoveEntry(key);
+  }
+  return dirty_discarded;
+}
+
+uint64_t PageStore::TruncateNode(const void* node, uint64_t first_page_to_drop) {
+  auto pit = pages_by_node_.find(node);
+  if (pit == pages_by_node_.end()) {
+    return 0;
+  }
+  std::vector<uint64_t> to_drop;
+  for (uint64_t page : pit->second) {
+    if (page >= first_page_to_drop) {
+      to_drop.push_back(page);
+    }
+  }
+  uint64_t dirty_discarded = 0;
+  for (uint64_t page : to_drop) {
+    const PageKey key{node, page};
+    if (entries_.at(key).dirty) {
+      ++dirty_discarded;
+    }
+    RemoveEntry(key);
+  }
+  return dirty_discarded;
+}
+
+std::vector<uint64_t> PageStore::DirtyPagesOf(const void* node) const {
+  std::vector<uint64_t> pages;
+  auto it = dirty_by_node_.find(node);
+  if (it == dirty_by_node_.end()) {
+    return pages;
+  }
+  pages.assign(it->second.begin(), it->second.end());
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+uint64_t PageStore::DirtyCountOf(const void* node) const {
+  auto it = dirty_by_node_.find(node);
+  return it == dirty_by_node_.end() ? 0 : it->second.size();
+}
+
+void PageStore::EvictIfNeeded() {
+  if (capacity_pages_ == 0 || entries_.size() <= capacity_pages_ || lru_.empty()) {
+    return;
+  }
+  // Scan from the LRU end, skipping dirty/pinned pages. The MRU front entry
+  // (typically the page being inserted right now) is never evicted. When
+  // everything is dirty or pinned the store over-commits; the cache
+  // manager's write throttling brings it back under budget.
+  auto it = std::prev(lru_.end());
+  while (entries_.size() > capacity_pages_) {
+    const bool at_front = it == lru_.begin();
+    const PageKey key = *it;
+    const Entry& entry = entries_.at(key);
+    const bool evictable = !entry.dirty && !entry.pinned && !at_front;
+    auto prev = at_front ? lru_.begin() : std::prev(it);
+    if (evictable) {
+      RemoveEntry(key);
+      ++evictions_;
+    }
+    if (at_front) {
+      break;
+    }
+    it = prev;
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,123 @@
+#include "src/mm/vm_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ntrace {
+
+VmManager::VmManager(Engine& engine, IoManager& io, CacheManager& cache)
+    : engine_(engine), io_(io), cache_(cache) {}
+
+uint64_t VmManager::CreateSection(FileObject& file, uint64_t size, bool image) {
+  Section s;
+  s.id = next_id_++;
+  s.file = &file;
+  s.node = file.fs_context;
+  s.size = size;
+  s.image = image;
+  io_.ReferenceFileObject(file);
+  ++stats_.sections_created;
+  if (image) {
+    ++stats_.image_sections;
+  }
+  const uint64_t id = s.id;
+  sections_.emplace(id, s);
+  return id;
+}
+
+void VmManager::IssuePagingRead(Section& s, uint64_t offset, uint64_t length) {
+  Irp irp;
+  irp.major = IrpMajor::kRead;
+  irp.flags = kIrpPagingIo;
+  irp.file_object = s.file;
+  irp.process_id = s.file->process_id();
+  irp.params.offset = offset;
+  irp.params.length = static_cast<uint32_t>(length);
+  io_.CallDriver(s.file->device(), irp);
+  ++stats_.fault_irps;
+  stats_.fault_bytes += length;
+}
+
+uint64_t VmManager::FaultRange(uint64_t section_id, uint64_t offset, uint64_t length) {
+  auto it = sections_.find(section_id);
+  assert(it != sections_.end());
+  Section& s = it->second;
+  length = std::min(length, s.size > offset ? s.size - offset : 0);
+  if (length == 0) {
+    return 0;
+  }
+  PageStore& pages = cache_.pages();
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  uint64_t hard_faults = 0;
+  uint64_t p = first;
+  while (p < first + span) {
+    if (pages.IsResident(s.node, p)) {
+      pages.Touch(s.node, p);
+      ++stats_.soft_faults;
+      ++p;
+      continue;
+    }
+    // Hard fault: read a cluster of pages starting here (bounded by the
+    // remaining request and the section size).
+    const uint64_t section_pages = (s.size + kPageSize - 1) / kPageSize;
+    const uint64_t cluster_end =
+        std::min<uint64_t>({p + s.cluster_pages, first + span, section_pages});
+    const uint64_t run = std::max<uint64_t>(1, cluster_end - p);
+    IssuePagingRead(s, p * kPageSize, run * kPageSize);
+    for (uint64_t q = p; q < p + run; ++q) {
+      pages.Insert(s.node, q, engine_.Now());
+    }
+    hard_faults += run;
+    stats_.pages_faulted += run;
+    p += run;
+  }
+  return hard_faults;
+}
+
+void VmManager::DirtyRange(uint64_t section_id, uint64_t offset, uint64_t length) {
+  auto it = sections_.find(section_id);
+  assert(it != sections_.end());
+  Section& s = it->second;
+  length = std::min(length, s.size > offset ? s.size - offset : 0);
+  PageStore& pages = cache_.pages();
+  const uint64_t first = PageIndex(offset);
+  const uint64_t span = PageSpan(offset, length);
+  for (uint64_t p = first; p < first + span; ++p) {
+    pages.MarkDirty(s.node, p, engine_.Now());
+  }
+}
+
+void VmManager::DeleteSection(uint64_t section_id) {
+  auto it = sections_.find(section_id);
+  if (it == sections_.end()) {
+    return;
+  }
+  // Flush mapped-writer dirty pages synchronously if no cache map exists to
+  // lazy-write them (rare: data sections over uncached files).
+  Section& s = it->second;
+  if (cache_.FindMap(s.node) == nullptr && cache_.pages().DirtyCountOf(s.node) > 0) {
+    const std::vector<uint64_t> dirty = cache_.pages().DirtyPagesOf(s.node);
+    for (uint64_t p : dirty) {
+      Irp irp;
+      irp.major = IrpMajor::kWrite;
+      irp.flags = kIrpPagingIo;
+      irp.file_object = s.file;
+      irp.process_id = s.file->process_id();
+      irp.params.offset = p * kPageSize;
+      irp.params.length = static_cast<uint32_t>(kPageSize);
+      io_.CallDriver(s.file->device(), irp);
+      cache_.pages().MarkClean(s.node, p);
+    }
+  }
+  FileObject* file = s.file;
+  sections_.erase(it);
+  io_.DereferenceFileObject(*file);
+}
+
+const VmManager::Section* VmManager::FindSection(uint64_t section_id) const {
+  auto it = sections_.find(section_id);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,24 @@
+// The common FCB header.
+//
+// NT file systems place an FSRTL_COMMON_FCB_HEADER at the start of the
+// per-file context they hang off FileObject::FsContext; layered components
+// (the cache manager, filter drivers like the paper's tracer) read file
+// sizes through it without knowing the file system's own structures. The
+// trace records' "current ... file size" field (section 3.2) comes from
+// here.
+
+#ifndef SRC_NTIO_FCB_H_
+#define SRC_NTIO_FCB_H_
+
+#include <cstdint>
+
+namespace ntrace {
+
+struct FcbHeader {
+  uint64_t size = 0;        // End of file.
+  uint64_t allocation = 0;  // Allocated bytes (page granular).
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_NTIO_FCB_H_

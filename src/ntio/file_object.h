@@ -1,0 +1,90 @@
+// File objects: the kernel representation of one open of a file.
+//
+// Every open-close sequence in the paper corresponds to one FileObject
+// instance (its analysis "instance" fact table is keyed by file-object id,
+// section 4). The object carries the per-open state the I/O manager and the
+// cache manager need: access mode, caching hints, the current byte offset,
+// and a reference count that drives the two-stage cleanup/close protocol of
+// section 8.1.
+
+#ifndef SRC_NTIO_FILE_OBJECT_H_
+#define SRC_NTIO_FILE_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time.h"
+#include "src/ntio/fcb.h"
+#include "src/ntio/irp.h"
+
+namespace ntrace {
+
+class DeviceObject;
+class SharedCacheMap;  // Defined in src/mm; ntio only carries the pointer.
+
+class FileObject {
+ public:
+  FileObject(uint64_t id, std::string path, DeviceObject* device, uint32_t process_id)
+      : id_(id), path_(std::move(path)), device_(device), process_id_(process_id) {}
+
+  FileObject(const FileObject&) = delete;
+  FileObject& operator=(const FileObject&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+  void set_path(std::string p) { path_ = std::move(p); }
+  DeviceObject* device() const { return device_; }
+  uint32_t process_id() const { return process_id_; }
+
+  // --- Per-open access and option state (set at create) ---
+  uint32_t desired_access = 0;
+  uint32_t create_options = 0;
+  uint32_t share_access = 0;
+  bool delete_on_close = false;
+  bool sequential_only = false;       // kOptSequentialOnly.
+  bool write_through = false;         // kOptWriteThrough.
+  bool no_intermediate_buffering = false;  // kOptNoIntermediateBuffering.
+  bool temporary = false;             // Opened/created with kAttrTemporary.
+  bool is_directory = false;
+
+  // --- I/O state ---
+  uint64_t current_byte_offset = 0;
+  // Directory enumeration cursor (index of next entry to return).
+  size_t directory_cursor = 0;
+
+  // --- File system context (the FCB); owned by the file system driver ---
+  void* fs_context = nullptr;
+  // Common header within the FCB, readable by layered components (see
+  // src/ntio/fcb.h). Set together with fs_context on successful create.
+  FcbHeader* fcb = nullptr;
+
+  // --- Cache state ---
+  // Non-null once the file system initialized caching through this file
+  // object (NT: FileObject->PrivateCacheMap). The I/O manager only attempts
+  // the FastIO path when this is set (section 10).
+  SharedCacheMap* shared_cache_map = nullptr;
+  bool caching_initialized = false;
+
+  // --- Lifecycle ---
+  // One reference for the user handle, plus one per cache/VM section holder.
+  int ref_count = 1;
+  bool cleanup_done = false;  // Handle closed; cleanup IRP already sent.
+  SimTime opened_at;
+  SimTime cleanup_at;
+
+  // Statistic hooks read by analyzers/tests.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint32_t read_ops = 0;
+  uint32_t write_ops = 0;
+
+ private:
+  uint64_t id_;
+  std::string path_;
+  DeviceObject* device_;
+  uint32_t process_id_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_NTIO_FILE_OBJECT_H_

@@ -1,0 +1,361 @@
+#include "src/ntio/io_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/format.h"
+
+namespace ntrace {
+
+IoManager::IoManager(Engine& engine, ProcessTable& processes, IoDispatchCosts costs)
+    : engine_(engine), processes_(processes), costs_(costs) {}
+
+void IoManager::RegisterVolume(const std::string& prefix, DeviceObject* top) {
+  auto vol = std::make_unique<Volume>();
+  vol->prefix = prefix;
+  vol->top = top;
+  vol->volume_file =
+      std::make_unique<FileObject>(next_file_id_++, prefix + "\\", top, kSystemProcessId);
+  vol->volume_file->is_directory = true;
+  volumes_.push_back(std::move(vol));
+  // Longest-prefix-first so "\\\\server\\share" wins over "\\\\server".
+  std::sort(volumes_.begin(), volumes_.end(),
+            [](const auto& a, const auto& b) { return a->prefix.size() > b->prefix.size(); });
+}
+
+DeviceObject* IoManager::AttachFilter(const std::string& prefix,
+                                      std::unique_ptr<DeviceObject> filter) {
+  Volume* vol = FindVolume(prefix + "\\");
+  assert(vol != nullptr && "AttachFilter: unknown volume");
+  filter->set_lower(vol->top);
+  vol->top = filter.get();
+  vol->volume_file = std::make_unique<FileObject>(next_file_id_++, vol->prefix + "\\", vol->top,
+                                                  kSystemProcessId);
+  vol->volume_file->is_directory = true;
+  owned_devices_.push_back(std::move(filter));
+  return vol->top;
+}
+
+IoManager::Volume* IoManager::FindVolume(std::string_view path) {
+  for (const auto& vol : volumes_) {
+    if (path.size() >= vol->prefix.size() &&
+        EqualsIgnoreCase(path.substr(0, vol->prefix.size()), vol->prefix)) {
+      return vol.get();
+    }
+  }
+  return nullptr;
+}
+
+const IoManager::Volume* IoManager::FindVolume(std::string_view path) const {
+  return const_cast<IoManager*>(this)->FindVolume(path);
+}
+
+DeviceObject* IoManager::ResolveVolume(std::string_view path) const {
+  const Volume* vol = FindVolume(path);
+  return vol == nullptr ? nullptr : vol->top;
+}
+
+std::vector<std::string> IoManager::VolumePrefixes() const {
+  std::vector<std::string> out;
+  out.reserve(volumes_.size());
+  for (const auto& vol : volumes_) {
+    out.push_back(vol->prefix);
+  }
+  return out;
+}
+
+FileObject* IoManager::NewFileObject(std::string path, DeviceObject* device,
+                                     uint32_t process_id) {
+  const uint64_t id = next_file_id_++;
+  auto fo = std::make_unique<FileObject>(id, std::move(path), device, process_id);
+  FileObject* raw = fo.get();
+  files_.emplace(id, std::move(fo));
+  return raw;
+}
+
+void IoManager::DestroyFileObject(FileObject& file) { files_.erase(file.id()); }
+
+NtStatus IoManager::CallDriver(DeviceObject* device, Irp& irp) {
+  ++irp_count_;
+  irp.issued = engine_.Now();
+  const NtStatus status = device->driver()->DispatchIrp(device, irp);
+  irp.completed = engine_.Now();
+  return status;
+}
+
+CreateResult IoManager::Create(const CreateRequest& request) {
+  DeviceObject* top = ResolveVolume(request.path);
+  if (top == nullptr) {
+    return {NtStatus::kObjectPathNotFound, nullptr, CreateAction::kOpened};
+  }
+  FileObject* fo = NewFileObject(request.path, top, request.process_id);
+  // Per-open options are parsed into the file object before dispatch, as the
+  // NT I/O manager does.
+  fo->desired_access = request.desired_access;
+  fo->create_options = request.create_options;
+  fo->share_access = request.share_access;
+  fo->delete_on_close = (request.create_options & kOptDeleteOnClose) != 0;
+  fo->sequential_only = (request.create_options & kOptSequentialOnly) != 0;
+  fo->write_through = (request.create_options & kOptWriteThrough) != 0;
+  fo->no_intermediate_buffering = (request.create_options & kOptNoIntermediateBuffering) != 0;
+  fo->temporary = (request.file_attributes & kAttrTemporary) != 0;
+  fo->opened_at = engine_.Now();
+
+  Irp irp;
+  irp.major = IrpMajor::kCreate;
+  irp.flags = kIrpSynchronousApi;
+  irp.file_object = fo;
+  irp.process_id = request.process_id;
+  irp.path = request.path;
+  irp.params.disposition = request.disposition;
+  irp.params.desired_access = request.desired_access;
+  irp.params.create_options = request.create_options;
+  irp.params.file_attributes = request.file_attributes;
+  irp.params.share_access = request.share_access;
+
+  engine_.AdvanceBy(costs_.irp_overhead);
+  const NtStatus status = CallDriver(top, irp);
+  if (NtError(status)) {
+    DestroyFileObject(*fo);
+    return {status, nullptr, irp.result.create_action};
+  }
+  return {status, fo, irp.result.create_action};
+}
+
+IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
+  DeviceObject* top = file.device();
+  // FastIO is attempted only once the file system has initialized caching
+  // for this file object and the open does not bypass the cache.
+  if (file.caching_initialized && !file.no_intermediate_buffering) {
+    ++fastio_read_attempts_;
+    engine_.AdvanceBy(costs_.fastio_overhead);
+    const FastIoResult r = top->driver()->FastIoRead(top, file, offset, length);
+    if (r.possible) {
+      ++fastio_read_hits_;
+      if (NtSuccess(r.status)) {
+        file.bytes_read += r.bytes;
+        ++file.read_ops;
+        file.current_byte_offset = offset + r.bytes;
+      }
+      return {r.status, r.bytes, /*used_fastio=*/true};
+    }
+  }
+  Irp irp;
+  irp.major = IrpMajor::kRead;
+  irp.flags = kIrpSynchronousApi;
+  irp.file_object = &file;
+  irp.process_id = file.process_id();
+  irp.params.offset = offset;
+  irp.params.length = length;
+  engine_.AdvanceBy(costs_.irp_overhead);
+  const NtStatus status = CallDriver(top, irp);
+  if (NtSuccess(status)) {
+    file.bytes_read += irp.result.information;
+    ++file.read_ops;
+    file.current_byte_offset = offset + irp.result.information;
+  }
+  return {status, irp.result.information, /*used_fastio=*/false};
+}
+
+IoResult IoManager::Write(FileObject& file, uint64_t offset, uint32_t length) {
+  DeviceObject* top = file.device();
+  if (file.caching_initialized && !file.no_intermediate_buffering && !file.write_through) {
+    ++fastio_write_attempts_;
+    engine_.AdvanceBy(costs_.fastio_overhead);
+    const FastIoResult r = top->driver()->FastIoWrite(top, file, offset, length);
+    if (r.possible) {
+      ++fastio_write_hits_;
+      if (NtSuccess(r.status)) {
+        file.bytes_written += r.bytes;
+        ++file.write_ops;
+        file.current_byte_offset = offset + r.bytes;
+      }
+      return {r.status, r.bytes, /*used_fastio=*/true};
+    }
+  }
+  Irp irp;
+  irp.major = IrpMajor::kWrite;
+  irp.flags = kIrpSynchronousApi;
+  if (file.write_through) {
+    irp.flags |= kIrpWriteThrough;
+  }
+  irp.file_object = &file;
+  irp.process_id = file.process_id();
+  irp.params.offset = offset;
+  irp.params.length = length;
+  engine_.AdvanceBy(costs_.irp_overhead);
+  const NtStatus status = CallDriver(top, irp);
+  if (NtSuccess(status)) {
+    file.bytes_written += irp.result.information;
+    ++file.write_ops;
+    file.current_byte_offset = offset + irp.result.information;
+  }
+  return {status, irp.result.information, /*used_fastio=*/false};
+}
+
+IoResult IoManager::ReadNext(FileObject& file, uint32_t length) {
+  return Read(file, file.current_byte_offset, length);
+}
+
+IoResult IoManager::WriteNext(FileObject& file, uint32_t length) {
+  return Write(file, file.current_byte_offset, length);
+}
+
+NtStatus IoManager::SendSimpleIrp(FileObject& file, IrpMajor major, IrpParameters params,
+                                  IrpResult* result) {
+  Irp irp;
+  irp.major = major;
+  irp.flags = kIrpSynchronousApi;
+  irp.file_object = &file;
+  irp.process_id = file.process_id();
+  irp.params = std::move(params);
+  engine_.AdvanceBy(costs_.irp_overhead);
+  const NtStatus status = CallDriver(file.device(), irp);
+  if (result != nullptr) {
+    *result = irp.result;
+  }
+  return status;
+}
+
+NtStatus IoManager::QueryBasicInfo(FileObject& file, FileBasicInfo* out) {
+  // The I/O manager first offers the query to the FastIO path.
+  DeviceObject* top = file.device();
+  engine_.AdvanceBy(costs_.fastio_overhead);
+  if (top->driver()->FastIoQueryBasicInfo(top, file, out)) {
+    return NtStatus::kSuccess;
+  }
+  IrpParameters params;
+  params.info_class = FileInfoClass::kBasic;
+  params.basic_out = out;
+  return SendSimpleIrp(file, IrpMajor::kQueryInformation, std::move(params));
+}
+
+NtStatus IoManager::QueryStandardInfo(FileObject& file, FileStandardInfo* out) {
+  DeviceObject* top = file.device();
+  engine_.AdvanceBy(costs_.fastio_overhead);
+  if (top->driver()->FastIoQueryStandardInfo(top, file, out)) {
+    return NtStatus::kSuccess;
+  }
+  IrpParameters params;
+  params.info_class = FileInfoClass::kStandard;
+  params.standard_out = out;
+  return SendSimpleIrp(file, IrpMajor::kQueryInformation, std::move(params));
+}
+
+NtStatus IoManager::SetBasicInfo(FileObject& file, const FileBasicInfo& info) {
+  IrpParameters params;
+  params.info_class = FileInfoClass::kBasic;
+  params.basic_in = info;
+  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+}
+
+NtStatus IoManager::SetEndOfFile(FileObject& file, uint64_t size) {
+  IrpParameters params;
+  params.info_class = FileInfoClass::kEndOfFile;
+  params.new_size = size;
+  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+}
+
+NtStatus IoManager::SetDispositionDelete(FileObject& file, bool delete_file) {
+  IrpParameters params;
+  params.info_class = FileInfoClass::kDisposition;
+  params.delete_disposition = delete_file;
+  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+}
+
+NtStatus IoManager::Rename(FileObject& file, const std::string& new_path) {
+  IrpParameters params;
+  params.info_class = FileInfoClass::kRename;
+  params.rename_target = new_path;
+  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+}
+
+NtStatus IoManager::Flush(FileObject& file) {
+  return SendSimpleIrp(file, IrpMajor::kFlushBuffers, IrpParameters{});
+}
+
+NtStatus IoManager::Lock(FileObject& file, uint64_t offset, uint64_t length) {
+  IrpParameters params;
+  params.offset = offset;
+  params.length = static_cast<uint32_t>(length);
+  return SendSimpleIrp(file, IrpMajor::kLockControl, std::move(params));
+}
+
+NtStatus IoManager::Unlock(FileObject& file, uint64_t offset, uint64_t length) {
+  IrpParameters params;
+  params.offset = offset;
+  params.length = static_cast<uint32_t>(length);
+  params.lock_release = true;
+  return SendSimpleIrp(file, IrpMajor::kLockControl, std::move(params));
+}
+
+NtStatus IoManager::QueryDirectory(FileObject& file, bool restart_scan,
+                                   const std::string& pattern, std::vector<DirEntry>* out) {
+  IrpParameters params;
+  params.restart_scan = restart_scan;
+  params.search_pattern = pattern;
+  params.dir_out = out;
+  return SendSimpleIrp(file, IrpMajor::kDirectoryControl, std::move(params));
+}
+
+NtStatus IoManager::Fsctl(FileObject& file, FsctlCode code) {
+  IrpParameters params;
+  params.fsctl = code;
+  return SendSimpleIrp(file, IrpMajor::kFileSystemControl, std::move(params));
+}
+
+NtStatus IoManager::FsctlVolume(const std::string& prefix, FsctlCode code, uint32_t process_id) {
+  Volume* vol = FindVolume(prefix + "\\");
+  if (vol == nullptr) {
+    return NtStatus::kObjectPathNotFound;
+  }
+  Irp irp;
+  irp.major = IrpMajor::kFileSystemControl;
+  irp.flags = kIrpSynchronousApi;
+  irp.file_object = vol->volume_file.get();
+  irp.process_id = process_id;
+  irp.params.fsctl = code;
+  engine_.AdvanceBy(costs_.irp_overhead);
+  return CallDriver(vol->top, irp);
+}
+
+NtStatus IoManager::QueryVolumeInformation(FileObject& file, uint64_t* free_bytes) {
+  IrpResult result;
+  const NtStatus status =
+      SendSimpleIrp(file, IrpMajor::kQueryVolumeInformation, IrpParameters{}, &result);
+  if (free_bytes != nullptr) {
+    *free_bytes = result.information;
+  }
+  return status;
+}
+
+void IoManager::CloseHandle(FileObject& file) {
+  assert(!file.cleanup_done && "double CloseHandle");
+  Irp irp;
+  irp.major = IrpMajor::kCleanup;
+  irp.flags = kIrpSynchronousApi;
+  irp.file_object = &file;
+  irp.process_id = file.process_id();
+  engine_.AdvanceBy(costs_.irp_overhead);
+  CallDriver(file.device(), irp);
+  file.cleanup_done = true;
+  file.cleanup_at = engine_.Now();
+  DereferenceFileObject(file);
+}
+
+void IoManager::ReferenceFileObject(FileObject& file) { ++file.ref_count; }
+
+void IoManager::DereferenceFileObject(FileObject& file) {
+  assert(file.ref_count > 0);
+  if (--file.ref_count > 0) {
+    return;
+  }
+  Irp irp;
+  irp.major = IrpMajor::kClose;
+  irp.file_object = &file;
+  irp.process_id = file.process_id();
+  CallDriver(file.device(), irp);
+  DestroyFileObject(file);
+}
+
+}  // namespace ntrace

@@ -1,0 +1,113 @@
+#include "src/ntio/irp.h"
+
+namespace ntrace {
+
+std::string_view IrpMajorName(IrpMajor m) {
+  switch (m) {
+    case IrpMajor::kCreate:
+      return "CREATE";
+    case IrpMajor::kRead:
+      return "READ";
+    case IrpMajor::kWrite:
+      return "WRITE";
+    case IrpMajor::kQueryInformation:
+      return "QUERY_INFORMATION";
+    case IrpMajor::kSetInformation:
+      return "SET_INFORMATION";
+    case IrpMajor::kQueryVolumeInformation:
+      return "QUERY_VOLUME_INFORMATION";
+    case IrpMajor::kDirectoryControl:
+      return "DIRECTORY_CONTROL";
+    case IrpMajor::kFileSystemControl:
+      return "FILE_SYSTEM_CONTROL";
+    case IrpMajor::kDeviceControl:
+      return "DEVICE_CONTROL";
+    case IrpMajor::kFlushBuffers:
+      return "FLUSH_BUFFERS";
+    case IrpMajor::kLockControl:
+      return "LOCK_CONTROL";
+    case IrpMajor::kCleanup:
+      return "CLEANUP";
+    case IrpMajor::kClose:
+      return "CLOSE";
+    case IrpMajor::kQueryEa:
+      return "QUERY_EA";
+    case IrpMajor::kSetEa:
+      return "SET_EA";
+    case IrpMajor::kQuerySecurity:
+      return "QUERY_SECURITY";
+    case IrpMajor::kSetSecurity:
+      return "SET_SECURITY";
+    case IrpMajor::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view CreateDispositionName(CreateDisposition d) {
+  switch (d) {
+    case CreateDisposition::kSupersede:
+      return "SUPERSEDE";
+    case CreateDisposition::kOpen:
+      return "OPEN";
+    case CreateDisposition::kCreate:
+      return "CREATE";
+    case CreateDisposition::kOpenIf:
+      return "OPEN_IF";
+    case CreateDisposition::kOverwrite:
+      return "OVERWRITE";
+    case CreateDisposition::kOverwriteIf:
+      return "OVERWRITE_IF";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view FileInfoClassName(FileInfoClass c) {
+  switch (c) {
+    case FileInfoClass::kBasic:
+      return "BASIC";
+    case FileInfoClass::kStandard:
+      return "STANDARD";
+    case FileInfoClass::kDisposition:
+      return "DISPOSITION";
+    case FileInfoClass::kEndOfFile:
+      return "END_OF_FILE";
+    case FileInfoClass::kAllocation:
+      return "ALLOCATION";
+    case FileInfoClass::kRename:
+      return "RENAME";
+    case FileInfoClass::kPosition:
+      return "POSITION";
+    case FileInfoClass::kName:
+      return "NAME";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view FsctlCodeName(FsctlCode c) {
+  switch (c) {
+    case FsctlCode::kIsVolumeMounted:
+      return "IS_VOLUME_MOUNTED";
+    case FsctlCode::kIsPathnameValid:
+      return "IS_PATHNAME_VALID";
+    case FsctlCode::kGetVolumeBitmap:
+      return "GET_VOLUME_BITMAP";
+    case FsctlCode::kGetRetrievalPointers:
+      return "GET_RETRIEVAL_POINTERS";
+    case FsctlCode::kFilesystemGetStatistics:
+      return "FILESYSTEM_GET_STATISTICS";
+    case FsctlCode::kSetCompression:
+      return "SET_COMPRESSION";
+    case FsctlCode::kLockVolume:
+      return "LOCK_VOLUME";
+    case FsctlCode::kUnlockVolume:
+      return "UNLOCK_VOLUME";
+    case FsctlCode::kDismountVolume:
+      return "DISMOUNT_VOLUME";
+    case FsctlCode::kMarkVolumeDirty:
+      return "MARK_VOLUME_DIRTY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ntrace

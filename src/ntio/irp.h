@@ -1,0 +1,253 @@
+// I/O request packets.
+//
+// The Windows NT I/O manager presents requests to the topmost driver of a
+// device stack either as an IRP (a packet walked down the driver chain) or
+// via the FastIO procedural interface (section 10 of the paper). This header
+// models the IRP: major/minor function codes, header flags (notably the
+// PagingIo bit that marks VM-manager-originated requests, section 3.3),
+// per-operation parameters, and the result written back by the file system.
+
+#ifndef SRC_NTIO_IRP_H_
+#define SRC_NTIO_IRP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/ntio/status.h"
+
+namespace ntrace {
+
+class FileObject;
+
+// IRP major function codes (the subset of NT's IRP_MJ_* that carries the
+// operations the paper's filter driver records).
+enum class IrpMajor : uint8_t {
+  kCreate,
+  kRead,
+  kWrite,
+  kQueryInformation,
+  kSetInformation,
+  kQueryVolumeInformation,
+  kDirectoryControl,
+  kFileSystemControl,
+  kDeviceControl,
+  kFlushBuffers,
+  kLockControl,
+  kCleanup,
+  kClose,
+  kQueryEa,
+  kSetEa,
+  kQuerySecurity,
+  kSetSecurity,
+  kShutdown,
+};
+constexpr int kNumIrpMajor = 18;
+
+std::string_view IrpMajorName(IrpMajor m);
+
+// IRP header flags.
+enum IrpFlags : uint32_t {
+  kIrpPagingIo = 1u << 0,         // Issued by the VM manager (page fault / lazy write).
+  kIrpSynchronousApi = 1u << 1,   // Caller blocks for completion.
+  kIrpNoCache = 1u << 2,          // Bypass the cache manager.
+  kIrpWriteThrough = 1u << 3,     // Do not delay the disk write.
+  kIrpReadAhead = 1u << 4,        // Cache-manager speculative read (subset of paging I/O).
+  kIrpLazyWrite = 1u << 5,        // Cache-manager write-behind (subset of paging I/O).
+  // Paging I/O induced by the cache manager on behalf of a cached user
+  // request (the "duplicate" class the paper filters in analysis, section
+  // 3.3). Paging I/O without this bit is VM-originated: image loading and
+  // mapped-file faults.
+  kIrpCacheFault = 1u << 6,
+};
+
+// NT create dispositions (what to do if the file does or does not exist).
+enum class CreateDisposition : uint8_t {
+  kSupersede,    // Replace if exists, create otherwise.
+  kOpen,         // Fail if missing.
+  kCreate,       // Fail if exists.
+  kOpenIf,       // Open, create if missing.
+  kOverwrite,    // Truncate-open; fail if missing.
+  kOverwriteIf,  // Truncate-open; create if missing.
+};
+
+std::string_view CreateDispositionName(CreateDisposition d);
+
+// What the file system actually did for a successful create.
+enum class CreateAction : uint8_t {
+  kOpened,
+  kCreated,
+  kOverwritten,
+  kSuperseded,
+};
+
+// Desired-access bits for create.
+enum AccessMask : uint32_t {
+  kAccessReadData = 1u << 0,
+  kAccessWriteData = 1u << 1,
+  kAccessAppendData = 1u << 2,
+  kAccessDelete = 1u << 3,
+  kAccessReadAttributes = 1u << 4,
+  kAccessWriteAttributes = 1u << 5,
+  kAccessListDirectory = 1u << 6,
+  kAccessExecute = 1u << 7,
+  kAccessSynchronize = 1u << 8,
+};
+
+// Create options.
+enum CreateOptions : uint32_t {
+  kOptDirectoryFile = 1u << 0,
+  kOptNonDirectoryFile = 1u << 1,
+  kOptSequentialOnly = 1u << 2,       // Hint: doubles cache read-ahead (section 9.1).
+  kOptRandomAccess = 1u << 3,
+  kOptNoIntermediateBuffering = 1u << 4,  // Disable read caching (section 9).
+  kOptWriteThrough = 1u << 5,             // Disable write-behind.
+  kOptDeleteOnClose = 1u << 6,
+  kOptSynchronousIo = 1u << 7,
+};
+
+// NT file attributes.
+enum FileAttributes : uint32_t {
+  kAttrNormal = 0,
+  kAttrReadOnly = 1u << 0,
+  kAttrHidden = 1u << 1,
+  kAttrSystem = 1u << 2,
+  kAttrDirectory = 1u << 4,
+  kAttrArchive = 1u << 5,
+  kAttrTemporary = 1u << 8,  // Lazy writer will not schedule the pages (section 6.3).
+  kAttrCompressed = 1u << 11,
+};
+
+// Share-access bits (who else may open the file concurrently).
+enum ShareAccess : uint32_t {
+  kShareRead = 1u << 0,
+  kShareWrite = 1u << 1,
+  kShareDelete = 1u << 2,
+};
+
+// Information classes for Query/SetInformation.
+enum class FileInfoClass : uint8_t {
+  kBasic,        // Times + attributes.
+  kStandard,     // Sizes, link count, delete-pending, directory flag.
+  kDisposition,  // Mark delete-on-close (SetInformation only).
+  kEndOfFile,    // Truncate/extend (SetInformation only).
+  kAllocation,
+  kRename,
+  kPosition,
+  kName,
+};
+
+std::string_view FileInfoClassName(FileInfoClass c);
+
+// File-system control (FSCTL) codes for IRP_MJ_FILE_SYSTEM_CONTROL. The
+// "is volume mounted" probe is the paper's most frequent control operation
+// (section 8.3: issued up to 40 times/second by name validation).
+enum class FsctlCode : uint8_t {
+  kIsVolumeMounted,
+  kIsPathnameValid,
+  kGetVolumeBitmap,
+  kGetRetrievalPointers,
+  kFilesystemGetStatistics,
+  kSetCompression,
+  kLockVolume,
+  kUnlockVolume,
+  kDismountVolume,
+  kMarkVolumeDirty,
+};
+
+std::string_view FsctlCodeName(FsctlCode c);
+
+// Basic-information block returned by QueryInformation(kBasic) and the
+// FastIoQueryBasicInfo path.
+struct FileBasicInfo {
+  SimTime creation_time;
+  SimTime last_access_time;
+  SimTime last_write_time;
+  uint32_t attributes = kAttrNormal;
+};
+
+// Standard-information block (QueryInformation(kStandard)).
+struct FileStandardInfo {
+  uint64_t allocation_size = 0;
+  uint64_t end_of_file = 0;
+  uint32_t number_of_links = 1;
+  bool delete_pending = false;
+  bool directory = false;
+};
+
+// One directory entry as returned by directory enumeration.
+struct DirEntry {
+  std::string name;
+  uint32_t attributes = kAttrNormal;
+  uint64_t size = 0;
+};
+
+// Per-operation parameter block. A real IRP has a union in its stack
+// location; a plain struct keeps the model simple and debuggable.
+struct IrpParameters {
+  // kCreate.
+  CreateDisposition disposition = CreateDisposition::kOpen;
+  uint32_t desired_access = 0;
+  uint32_t create_options = 0;
+  uint32_t file_attributes = kAttrNormal;
+  uint32_t share_access = kShareRead | kShareWrite;
+
+  // kRead / kWrite.
+  uint64_t offset = 0;
+  uint32_t length = 0;
+
+  // kQueryInformation / kSetInformation.
+  FileInfoClass info_class = FileInfoClass::kBasic;
+  uint64_t new_size = 0;          // kEndOfFile / kAllocation.
+  bool delete_disposition = false;  // kDisposition.
+  std::string rename_target;        // kRename.
+
+  // kFileSystemControl / kDeviceControl.
+  FsctlCode fsctl = FsctlCode::kIsVolumeMounted;
+
+  // kLockControl.
+  bool lock_release = false;
+
+  // kDirectoryControl.
+  bool restart_scan = false;
+  std::string search_pattern;  // Empty = all entries.
+
+  // Output buffers (the system buffer of a real IRP). Owned by the caller.
+  FileBasicInfo* basic_out = nullptr;
+  FileStandardInfo* standard_out = nullptr;
+  std::vector<DirEntry>* dir_out = nullptr;
+
+  // kSetInformation(kBasic): new times/attributes.
+  FileBasicInfo basic_in;
+};
+
+// Result block written by the completing driver.
+struct IrpResult {
+  NtStatus status = NtStatus::kSuccess;
+  uint64_t information = 0;  // Bytes transferred, entries returned, etc.
+  CreateAction create_action = CreateAction::kOpened;
+};
+
+// The I/O request packet.
+struct Irp {
+  IrpMajor major = IrpMajor::kCreate;
+  uint32_t flags = 0;
+  FileObject* file_object = nullptr;
+  uint32_t process_id = 0;
+  IrpParameters params;
+  IrpResult result;
+  // Stamped by the I/O manager around the dispatch.
+  SimTime issued;
+  SimTime completed;
+  // For create IRPs the path travels in the packet (the FileObject's name is
+  // set only after a successful open in real NT; we keep both).
+  std::string path;
+
+  bool IsPagingIo() const { return (flags & kIrpPagingIo) != 0; }
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_NTIO_IRP_H_

@@ -1,0 +1,44 @@
+#include "src/ntio/process.h"
+
+namespace ntrace {
+
+ProcessTable::ProcessTable() {
+  ProcessInfo system;
+  system.pid = kSystemProcessId;
+  system.image_name = "system";
+  system.running = true;
+  table_.emplace(system.pid, std::move(system));
+}
+
+uint32_t ProcessTable::Spawn(std::string image_name, SimTime now, bool takes_user_input) {
+  ProcessInfo info;
+  info.pid = next_pid_;
+  next_pid_ += 4;  // NT pids are multiples of 4.
+  info.image_name = std::move(image_name);
+  info.takes_user_input = takes_user_input;
+  info.started_at = now;
+  info.running = true;
+  const uint32_t pid = info.pid;
+  table_.emplace(pid, std::move(info));
+  return pid;
+}
+
+void ProcessTable::Exit(uint32_t pid, SimTime now) {
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    it->second.exited_at = now;
+    it->second.running = false;
+  }
+}
+
+const ProcessInfo* ProcessTable::Find(uint32_t pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const std::string& ProcessTable::NameOf(uint32_t pid) const {
+  const ProcessInfo* info = Find(pid);
+  return info == nullptr ? unknown_name_ : info->image_name;
+}
+
+}  // namespace ntrace

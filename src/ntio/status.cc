@@ -1,0 +1,49 @@
+#include "src/ntio/status.h"
+
+namespace ntrace {
+
+std::string_view NtStatusName(NtStatus s) {
+  switch (s) {
+    case NtStatus::kSuccess:
+      return "SUCCESS";
+    case NtStatus::kEndOfFile:
+      return "END_OF_FILE";
+    case NtStatus::kBufferOverflow:
+      return "BUFFER_OVERFLOW";
+    case NtStatus::kNoMoreFiles:
+      return "NO_MORE_FILES";
+    case NtStatus::kObjectNameNotFound:
+      return "OBJECT_NAME_NOT_FOUND";
+    case NtStatus::kObjectPathNotFound:
+      return "OBJECT_PATH_NOT_FOUND";
+    case NtStatus::kObjectNameCollision:
+      return "OBJECT_NAME_COLLISION";
+    case NtStatus::kAccessDenied:
+      return "ACCESS_DENIED";
+    case NtStatus::kSharingViolation:
+      return "SHARING_VIOLATION";
+    case NtStatus::kDeletePending:
+      return "DELETE_PENDING";
+    case NtStatus::kFileIsADirectory:
+      return "FILE_IS_A_DIRECTORY";
+    case NtStatus::kNotADirectory:
+      return "NOT_A_DIRECTORY";
+    case NtStatus::kInvalidParameter:
+      return "INVALID_PARAMETER";
+    case NtStatus::kInvalidDeviceRequest:
+      return "INVALID_DEVICE_REQUEST";
+    case NtStatus::kNotImplemented:
+      return "NOT_IMPLEMENTED";
+    case NtStatus::kDiskFull:
+      return "DISK_FULL";
+    case NtStatus::kCannotDelete:
+      return "CANNOT_DELETE";
+    case NtStatus::kDirectoryNotEmpty:
+      return "DIRECTORY_NOT_EMPTY";
+    case NtStatus::kLockNotGranted:
+      return "LOCK_NOT_GRANTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ntrace

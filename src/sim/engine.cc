@@ -1,0 +1,86 @@
+#include "src/sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ntrace {
+
+void Engine::Push(SimTime due, EventId id, std::function<void()> fn, bool periodic,
+                  SimDuration period) {
+  queue_.push(Event{due, next_seq_++, id, std::move(fn), periodic, period});
+}
+
+EventId Engine::Schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay.ticks() >= 0);
+  const EventId id = next_id_++;
+  Push(now_ + delay, id, std::move(fn), /*periodic=*/false, SimDuration());
+  return id;
+}
+
+EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  Push(when, id, std::move(fn), /*periodic=*/false, SimDuration());
+  return id;
+}
+
+EventId Engine::SchedulePeriodic(SimDuration initial_delay, SimDuration period,
+                                 std::function<void()> fn) {
+  assert(period.ticks() > 0);
+  const EventId id = next_id_++;
+  Push(now_ + initial_delay, id, std::move(fn), /*periodic=*/true, period);
+  return id;
+}
+
+void Engine::Cancel(EventId id) { cancelled_.insert(id); }
+
+void Engine::AdvanceBy(SimDuration latency) {
+  assert(latency.ticks() >= 0);
+  now_ += latency;
+}
+
+bool Engine::DispatchNext(SimTime limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.due > limit) {
+      return false;
+    }
+    Event ev = top;
+    queue_.pop();
+    if (cancelled_.count(ev.id) != 0) {
+      if (!ev.periodic) {
+        cancelled_.erase(ev.id);
+      }
+      continue;
+    }
+    // Fire at the due time unless a synchronous AdvanceBy already moved the
+    // clock past it; the clock never runs backwards.
+    if (ev.due > now_) {
+      now_ = ev.due;
+    }
+    ++events_dispatched_;
+    if (ev.periodic) {
+      Push(ev.due + ev.period, ev.id, ev.fn, /*periodic=*/true, ev.period);
+    }
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::RunUntil(SimTime until) {
+  while (DispatchNext(until)) {
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Engine::RunAll() {
+  while (DispatchNext(SimTime(INT64_MAX))) {
+  }
+}
+
+}  // namespace ntrace

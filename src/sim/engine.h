@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the simulated clock (100 ns ticks) and a priority queue of
+// scheduled callbacks. Two time-advancing mechanisms coexist:
+//
+//   1. Scheduled events (Schedule / SchedulePeriodic): workload think times,
+//      session arrivals, the cache manager's 1-second lazy-writer scan, the
+//      trace agent's daily 4 AM snapshot.
+//   2. Synchronous latency (AdvanceBy): an I/O call computes its service time
+//      from the device model and bumps the clock as if the issuing thread had
+//      blocked for it.
+//
+// Events whose due time was overtaken by an AdvanceBy fire as soon as control
+// returns to Run(), at the advanced clock. This models one "foreground"
+// thread of activity per callback with background activity interleaved at
+// event granularity -- deliberately simpler than full thread scheduling (see
+// DESIGN.md section 2): the paper's statistics are usage patterns, not device
+// queueing, and the distortion is bounded by single-operation latencies
+// (microseconds to milliseconds) against event periods of seconds.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace ntrace {
+
+// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedule `fn` to run `delay` from now. Returns an id for Cancel().
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedule `fn` at an absolute time (clamped to now if in the past).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedule `fn` every `period`, first firing after `initial_delay`.
+  // Cancelling the returned id stops future firings.
+  EventId SchedulePeriodic(SimDuration initial_delay, SimDuration period,
+                           std::function<void()> fn);
+
+  // Cancel a pending (or periodic) event. Safe to call on already-fired
+  // one-shot ids (no-op).
+  void Cancel(EventId id);
+
+  // Synchronously consume latency: advances the clock without dispatching
+  // queued events (they fire when control returns to Run()).
+  void AdvanceBy(SimDuration latency);
+
+  // Run until the event queue is empty or the clock reaches `until`.
+  // Events due at exactly `until` are executed.
+  void RunUntil(SimTime until);
+
+  // Run until the event queue is empty.
+  void RunAll();
+
+  // Number of events dispatched so far (for tests and sanity checks).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  struct Event {
+    SimTime due;
+    uint64_t seq;  // Tie-break: FIFO among same-time events.
+    EventId id;
+    std::function<void()> fn;
+    bool periodic;
+    SimDuration period;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.due != b.due) {
+        return a.due > b.due;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(SimTime due, EventId id, std::function<void()> fn, bool periodic, SimDuration period);
+  bool DispatchNext(SimTime limit);
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_SIM_ENGINE_H_

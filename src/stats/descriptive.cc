@@ -1,0 +1,274 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ntrace {
+
+void StreamingStats::Add(double x) { Add(x, 1.0); }
+
+void StreamingStats::Add(double x, double weight) {
+  assert(weight >= 0.0);
+  if (weight == 0.0) {
+    return;
+  }
+  ++count_;
+  total_weight_ += weight;
+  sum_ += x * weight;
+  const double delta = x - mean_;
+  mean_ += delta * weight / total_weight_;
+  m2_ += weight * delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const {
+  if (total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  return m2_ / total_weight_;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double w = total_weight_ + other.total_weight_;
+  const double delta = other.mean_ - mean_;
+  const double new_mean = mean_ + delta * other.total_weight_ / w;
+  m2_ += other.m2_ + delta * delta * total_weight_ * other.total_weight_ / w;
+  mean_ = new_mean;
+  total_weight_ = w;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value, int buckets_per_decade) {
+  assert(min_value > 0.0 && max_value > min_value && buckets_per_decade > 0);
+  log_min_ = std::log10(min_value);
+  log_max_ = std::log10(max_value);
+  bucket_width_ = 1.0 / buckets_per_decade;
+  const size_t n = static_cast<size_t>(std::ceil((log_max_ - log_min_) / bucket_width_)) + 1;
+  counts_.assign(n, 0.0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  if (value <= 0.0) {
+    return 0;
+  }
+  const double lg = std::log10(value);
+  if (lg <= log_min_) {
+    return 0;
+  }
+  const size_t i = static_cast<size_t>((lg - log_min_) / bucket_width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void LogHistogram::Add(double value, double weight) {
+  counts_[BucketFor(value)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::BucketLow(size_t i) const { return std::pow(10.0, log_min_ + i * bucket_width_); }
+
+double LogHistogram::BucketHigh(size_t i) const {
+  return std::pow(10.0, log_min_ + (i + 1) * bucket_width_);
+}
+
+double LogHistogram::BucketMid(size_t i) const {
+  return std::pow(10.0, log_min_ + (i + 0.5) * bucket_width_);
+}
+
+double LogHistogram::CdfAt(double value) const {
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  const size_t b = BucketFor(value);
+  double acc = 0.0;
+  for (size_t i = 0; i <= b; ++i) {
+    acc += counts_[i];
+  }
+  return acc / total_;
+}
+
+double LogHistogram::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  const double target = p * total_;
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc >= target) {
+      return BucketHigh(i);
+    }
+  }
+  return BucketHigh(counts_.size() - 1);
+}
+
+void WeightedCdf::Add(double value, double weight) {
+  assert(weight >= 0.0);
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  finalized_ = false;
+}
+
+void WeightedCdf::Finalize() {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  cum_.resize(samples_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    acc += samples_[i].second;
+    cum_[i] = acc;
+  }
+  finalized_ = true;
+}
+
+double WeightedCdf::Fraction(double x) const {
+  assert(finalized_);
+  if (samples_.empty() || total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  // Find last sample with value <= x.
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x,
+                                   [](double v, const auto& s) { return v < s.first; });
+  if (it == samples_.begin()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(std::distance(samples_.begin(), it)) - 1;
+  return cum_[idx] / total_weight_;
+}
+
+double WeightedCdf::Percentile(double p) const {
+  assert(finalized_);
+  assert(p >= 0.0 && p <= 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const double target = p * total_weight_;
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), target);
+  const size_t idx = it == cum_.end() ? cum_.size() - 1
+                                      : static_cast<size_t>(std::distance(cum_.begin(), it));
+  return samples_[idx].first;
+}
+
+std::vector<double> WeightedCdf::Evaluate(const std::vector<double>& points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    out.push_back(Fraction(p));
+  }
+  return out;
+}
+
+IntervalSeries::IntervalSeries(double interval_seconds) : interval_seconds_(interval_seconds) {
+  assert(interval_seconds > 0.0);
+}
+
+void IntervalSeries::AddEvent(double t_seconds, double weight) {
+  if (t_seconds < 0.0) {
+    t_seconds = 0.0;
+  }
+  const size_t i = static_cast<size_t>(t_seconds / interval_seconds_);
+  if (i >= counts_.size()) {
+    counts_.resize(i + 1, 0.0);
+  }
+  counts_[i] += weight;
+  max_interval_ = std::max(max_interval_, i);
+  any_ = true;
+}
+
+size_t IntervalSeries::NumIntervals() const { return any_ ? max_interval_ + 1 : 0; }
+
+double IntervalSeries::CountAt(size_t interval) const {
+  return interval < counts_.size() ? counts_[interval] : 0.0;
+}
+
+std::vector<double> IntervalSeries::Dense() const {
+  std::vector<double> out(NumIntervals(), 0.0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i];
+  }
+  return out;
+}
+
+StreamingStats IntervalSeries::IntervalStats() const {
+  StreamingStats s;
+  for (size_t i = 0; i < NumIntervals(); ++i) {
+    s.Add(CountAt(i));
+  }
+  return s;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit LeastSquares(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  const size_t n = x.size();
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  LinearFit fit;
+  if (sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,149 @@
+// Descriptive statistics: streaming moments, log-bucket histograms, weighted
+// empirical CDFs, and fixed-width interval aggregation.
+//
+// These are the workhorses behind every table and figure reproduction: the
+// paper reports means with standard deviations (table 2), cumulative
+// distributions weighted by file count or bytes (figures 1-5, 11-14), and
+// per-interval aggregates at several granularities (figure 8, table 2).
+
+#ifndef SRC_STATS_DESCRIPTIVE_H_
+#define SRC_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ntrace {
+
+// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void Add(double x);
+  void Add(double x, double weight);
+
+  int64_t count() const { return count_; }
+  double total_weight() const { return total_weight_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // Population variance of the weighted sample.
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  // Merge another accumulator into this one.
+  void Merge(const StreamingStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double total_weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over logarithmically spaced buckets, suitable for quantities that
+// span many orders of magnitude (latencies, sizes, lifetimes).
+class LogHistogram {
+ public:
+  // Buckets cover [min_value, max_value] with `buckets_per_decade` buckets in
+  // each factor-of-ten span; values outside are clamped into the end buckets.
+  LogHistogram(double min_value, double max_value, int buckets_per_decade = 10);
+
+  void Add(double value, double weight = 1.0);
+
+  size_t bucket_count() const { return counts_.size(); }
+  // Geometric midpoint of bucket i.
+  double BucketMid(size_t i) const;
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+  double CountAt(size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  // Cumulative fraction of weight at or below `value`.
+  double CdfAt(double value) const;
+  // Smallest bucket-boundary value v such that CdfAt(v) >= p.
+  double Percentile(double p) const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double log_min_;
+  double log_max_;
+  double bucket_width_;  // In log10 space.
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// An exact weighted empirical CDF built from retained samples. Memory is
+// O(samples); use LogHistogram when sample counts are huge.
+class WeightedCdf {
+ public:
+  void Add(double value, double weight = 1.0);
+
+  // Must be called after all Add()s and before queries; sorts samples.
+  void Finalize();
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  // Fraction of weight with value <= x. Requires Finalize().
+  double Fraction(double x) const;
+  // Smallest sample value v with Fraction(v) >= p. Requires Finalize().
+  double Percentile(double p) const;
+
+  // Evaluate the CDF at each of the given points (for figure series).
+  std::vector<double> Evaluate(const std::vector<double>& points) const;
+
+  // The underlying sorted values (post-Finalize) for tail analysis.
+  const std::vector<std::pair<double, double>>& samples() const { return samples_; }
+
+ private:
+  std::vector<std::pair<double, double>> samples_;  // (value, weight).
+  std::vector<double> cum_;                         // Cumulative weights, post-Finalize.
+  double total_weight_ = 0.0;
+  bool finalized_ = false;
+};
+
+// Counts events into fixed-width time intervals; used for the figure-8
+// arrival-rate views (1 s / 10 s / 100 s) and the table-2 activity intervals.
+class IntervalSeries {
+ public:
+  explicit IntervalSeries(double interval_seconds);
+
+  void AddEvent(double t_seconds, double weight = 1.0);
+
+  // Number of intervals from 0 through the last event.
+  size_t NumIntervals() const;
+  double CountAt(size_t interval) const;
+  double interval_seconds() const { return interval_seconds_; }
+
+  // Per-interval counts as a dense vector (zero-filled gaps included).
+  std::vector<double> Dense() const;
+
+  // Index of last non-empty interval + 1, 0 if empty.
+  StreamingStats IntervalStats() const;
+
+ private:
+  double interval_seconds_;
+  std::vector<double> counts_;
+  size_t max_interval_ = 0;
+  bool any_ = false;
+};
+
+// Pearson correlation of paired samples. Returns 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Simple least-squares fit y = a + b*x; returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit LeastSquares(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ntrace
+
+#endif  // SRC_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,188 @@
+#include "src/stats/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ntrace {
+
+ParetoDistribution::ParetoDistribution(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  // Inverse transform: X = xm / U^(1/alpha).
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 1e-300);
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+double ParetoDistribution::Mean() const {
+  if (alpha_ <= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDistribution::Ccdf(double x) const {
+  if (x <= xm_) {
+    return 1.0;
+  }
+  return std::pow(xm_ / x, alpha_);
+}
+
+double ParetoDistribution::Quantile(double p) const {
+  assert(p >= 0.0 && p < 1.0);
+  return xm_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double xm, double cap, double alpha)
+    : xm_(xm), cap_(cap), alpha_(alpha) {
+  assert(xm > 0.0 && cap > xm && alpha > 0.0);
+}
+
+double BoundedParetoDistribution::Sample(Rng& rng) const {
+  // Inverse transform of the truncated CCDF.
+  const double u = rng.NextDouble();
+  const double la = std::pow(xm_, alpha_);
+  const double ha = std::pow(cap_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::clamp(x, xm_, cap_);
+}
+
+double BoundedParetoDistribution::Mean() const {
+  if (alpha_ == 1.0) {
+    return xm_ * cap_ / (cap_ - xm_) * std::log(cap_ / xm_);
+  }
+  const double la = std::pow(xm_, alpha_);
+  const double num = la * alpha_ / (alpha_ - 1.0) *
+                     (1.0 / std::pow(xm_, alpha_ - 1.0) - 1.0 / std::pow(cap_, alpha_ - 1.0));
+  const double denom = 1.0 - std::pow(xm_ / cap_, alpha_);
+  return num / denom;
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma >= 0.0);
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LogNormalDistribution::Mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2.0); }
+
+ExponentialDistribution::ExponentialDistribution(double lambda) : lambda_(lambda) {
+  assert(lambda > 0.0);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda_;
+}
+
+double ExponentialDistribution::Mean() const { return 1.0 / lambda_; }
+
+UniformDistribution::UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {
+  assert(lo <= hi);
+}
+
+double UniformDistribution::Sample(Rng& rng) const { return rng.UniformReal(lo_, hi_); }
+
+double UniformDistribution::Mean() const { return (lo_ + hi_) / 2.0; }
+
+ConstantDistribution::ConstantDistribution(double value) : value_(value) {}
+
+double ConstantDistribution::Sample(Rng&) const { return value_; }
+
+double ConstantDistribution::Mean() const { return value_; }
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  weights_.reserve(components_.size());
+  for (const auto& c : components_) {
+    assert(c.weight >= 0.0 && c.dist != nullptr);
+    weights_.push_back(c.weight);
+  }
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  const size_t i = rng.WeightedIndex(weights_);
+  return components_[i].dist->Sample(rng);
+}
+
+double MixtureDistribution::Mean() const {
+  double total_w = 0.0;
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    total_w += c.weight;
+    acc += c.weight * c.dist->Mean();
+  }
+  return acc / total_w;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  assert(!entries_.empty());
+  weights_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    assert(e.weight >= 0.0);
+    weights_.push_back(e.weight);
+  }
+}
+
+double DiscreteDistribution::Sample(Rng& rng) const {
+  return entries_[rng.WeightedIndex(weights_)].value;
+}
+
+double DiscreteDistribution::Mean() const {
+  double total_w = 0.0;
+  double acc = 0.0;
+  for (const auto& e : entries_) {
+    total_w += e.weight;
+    acc += e.weight * e.value;
+  }
+  return acc / total_w;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::distance(cdf_.begin(), it == cdf_.end() ? it - 1 : it));
+}
+
+PoissonProcess::PoissonProcess(double rate_per_second) : gap_(rate_per_second) {}
+
+double PoissonProcess::NextGapSeconds(Rng& rng) const { return gap_.Sample(rng); }
+
+std::vector<double> PoissonProcess::GenerateArrivals(Rng& rng, size_t count) const {
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  double t = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    t += gap_.Sample(rng);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace ntrace

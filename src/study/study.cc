@@ -1,0 +1,173 @@
+#include "src/study/study.h"
+
+#include <cassert>
+
+namespace ntrace {
+
+Study::Study(StudyConfig config) : config_(std::move(config)) {}
+
+void Study::Run() {
+  assert(!result_.has_value() && "Run() called twice");
+  result_ = RunFleet(config_.fleet);
+}
+
+const TraceSet& Study::trace() const {
+  assert(result_.has_value());
+  return result_->trace;
+}
+
+const TraceSet& Study::app_trace() {
+  assert(result_.has_value());
+  if (!app_trace_.has_value()) {
+    app_trace_ = result_->trace.WithoutCacheInducedPaging();
+  }
+  return *app_trace_;
+}
+
+const InstanceTable& Study::instances() {
+  if (!instances_.has_value()) {
+    // Built over the *full* trace so paging attribution survives, but the
+    // per-record filtering inside InstanceTable::Build already separates the
+    // classes; analyses that must exclude duplicates use the counters.
+    instances_ = InstanceTable::Build(trace());
+  }
+  return *instances_;
+}
+
+const std::vector<SystemRunStats>& Study::systems() const {
+  assert(result_.has_value());
+  return result_->systems;
+}
+
+CacheStats Study::total_cache_stats() const {
+  assert(result_.has_value());
+  return result_->TotalCache();
+}
+
+const UserActivityResult& Study::UserActivity() {
+  if (!user_activity_.has_value()) {
+    user_activity_ = UserActivityAnalyzer::Analyze(trace());
+  }
+  return *user_activity_;
+}
+
+const AccessPatternTable& Study::AccessPatterns() {
+  if (!access_patterns_.has_value()) {
+    access_patterns_ = AccessPatternAnalyzer::BuildTable(instances());
+  }
+  return *access_patterns_;
+}
+
+const RunLengthResult& Study::RunLengths() {
+  if (!run_lengths_.has_value()) {
+    run_lengths_ = AccessPatternAnalyzer::AnalyzeRuns(instances());
+  }
+  return *run_lengths_;
+}
+
+const FileSizeResult& Study::FileSizes() {
+  if (!file_sizes_.has_value()) {
+    file_sizes_ = AccessPatternAnalyzer::AnalyzeFileSizes(instances());
+  }
+  return *file_sizes_;
+}
+
+const SessionResult& Study::Sessions() {
+  if (!sessions_.has_value()) {
+    sessions_ = SessionAnalyzer::Analyze(trace(), instances());
+  }
+  return *sessions_;
+}
+
+const LifetimeResult& Study::Lifetimes() {
+  if (!lifetimes_.has_value()) {
+    lifetimes_ = LifetimeAnalyzer::Analyze(trace(), instances());
+    lifetimes_->overwrite_with_dirty_fraction =
+        total_cache_stats().purge_calls > 0
+            ? static_cast<double>(total_cache_stats().purges_with_dirty) /
+                  total_cache_stats().purge_calls
+            : 0;
+  }
+  return *lifetimes_;
+}
+
+const FastIoResultAnalysis& Study::FastIo() {
+  if (!fastio_.has_value()) {
+    fastio_ = FastIoAnalyzer::Analyze(trace());
+  }
+  return *fastio_;
+}
+
+const OperationResult& Study::Operations() {
+  if (!operations_.has_value()) {
+    operations_ = OperationAnalyzer::Analyze(trace(), instances());
+  }
+  return *operations_;
+}
+
+const CacheAnalysisResult& Study::Cache() {
+  if (!cache_.has_value()) {
+    cache_ = CacheAnalyzer::Analyze(trace(), instances(), total_cache_stats());
+    // "At least 25%-35% of all the deleted new files could have benefited
+    // from the use of this attribute" (section 6.3): short-lived deaths
+    // that did not use the temporary path.
+    const LifetimeResult& lifetimes = Lifetimes();
+    uint64_t candidates = 0;
+    for (const NewFileDeath& d : lifetimes.deaths) {
+      // Candidates: explicitly deleted new files that died quickly, were
+      // never re-opened in between, and were deleted by their creator --
+      // i.e. the data never needed to reach the disk at all.
+      if (d.method == DeletionMethod::kExplicitDelete && d.lifetime_ms <= 5000.0 &&
+          d.opens_between == 0 && d.same_process) {
+        ++candidates;
+      }
+    }
+    if (!lifetimes.deaths.empty()) {
+      cache_->temporary_benefit_fraction =
+          static_cast<double>(candidates) / static_cast<double>(lifetimes.deaths.size());
+    }
+  }
+  return *cache_;
+}
+
+ArrivalViews Study::Burstiness(uint32_t system_id) {
+  return BurstinessAnalyzer::BuildArrivalViews(trace(), system_id);
+}
+
+std::vector<TailDiagnostics> Study::TailSweep() {
+  return BurstinessAnalyzer::SweepAll(trace());
+}
+
+std::vector<ProcessProfile> Study::ProcessProfiles() {
+  return ProcessProfileAnalyzer::ByProcess(trace(), instances());
+}
+
+std::vector<FileTypeProfile> Study::FileTypeProfiles() {
+  return ProcessProfileAnalyzer::ByFileType(instances());
+}
+
+std::vector<ContentSummary> Study::ContentSummaries() {
+  std::vector<ContentSummary> out;
+  for (const SystemRunStats& s : systems()) {
+    for (const SnapshotSeries& series : s.snapshots) {
+      if (!series.snapshots.empty()) {
+        out.push_back(SnapshotAnalyzer::SummarizeContent(series.snapshots.back()));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ChurnSummary> Study::ChurnSummaries() {
+  std::vector<ChurnSummary> out;
+  for (const SystemRunStats& s : systems()) {
+    for (const SnapshotSeries& series : s.snapshots) {
+      if (series.snapshots.size() >= 2) {
+        out.push_back(SnapshotAnalyzer::AnalyzeChurn(series));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ntrace

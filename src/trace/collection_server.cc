@@ -1,0 +1,20 @@
+#include "src/trace/collection_server.h"
+
+namespace ntrace {
+
+void CollectionServer::DeliverRecords(std::vector<TraceRecord> records) {
+  ++deliveries_;
+  set_.records.insert(set_.records.end(), records.begin(), records.end());
+}
+
+void CollectionServer::DeliverName(NameRecord name) { set_.names.push_back(std::move(name)); }
+
+TraceSet& CollectionServer::Finish() {
+  if (!finished_) {
+    set_.SortByTime();
+    finished_ = true;
+  }
+  return set_;
+}
+
+}  // namespace ntrace

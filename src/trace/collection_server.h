@@ -1,0 +1,39 @@
+// The trace collection server.
+//
+// "The collection servers are three dedicated file servers that take the
+// incoming event streams and store them in compressed formats for later
+// retrieval" (section 3). Here a single CollectionServer aggregates the
+// record streams of every traced system into a TraceSet.
+
+#ifndef SRC_TRACE_COLLECTION_SERVER_H_
+#define SRC_TRACE_COLLECTION_SERVER_H_
+
+#include <cstdint>
+
+#include "src/trace/trace_buffer.h"
+#include "src/trace/trace_set.h"
+
+namespace ntrace {
+
+class CollectionServer final : public TraceSink {
+ public:
+  CollectionServer() = default;
+
+  void DeliverRecords(std::vector<TraceRecord> records) override;
+  void DeliverName(NameRecord name) override;
+
+  // The aggregated collection (sorted by completion time on access).
+  TraceSet& Finish();
+  const TraceSet& set() const { return set_; }
+
+  uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  TraceSet set_;
+  uint64_t deliveries_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACE_COLLECTION_SERVER_H_

@@ -1,0 +1,65 @@
+#include "src/trace/snapshot.h"
+
+namespace ntrace {
+namespace {
+
+void WalkNode(const FileNode& node, uint32_t depth, bool fat_times, Snapshot* out) {
+  SnapshotRecord rec;
+  rec.depth = depth;
+  rec.directory = node.directory();
+  rec.name = node.name();
+  rec.size = node.size;
+  rec.last_write_time = node.last_write_time;
+  if (!fat_times) {
+    rec.creation_time = node.creation_time;
+    rec.last_access_time = node.last_access_time;
+  }
+  if (node.directory()) {
+    for (const auto& [_, child] : node.children()) {
+      if (child->directory()) {
+        ++rec.subdirectories;
+      } else {
+        ++rec.file_entries;
+      }
+    }
+  }
+  out->records.push_back(std::move(rec));
+  for (const auto& [_, child] : node.children()) {
+    WalkNode(*child, depth + 1, fat_times, out);
+  }
+}
+
+}  // namespace
+
+uint64_t Snapshot::FileCount() const {
+  uint64_t n = 0;
+  for (const auto& r : records) {
+    if (!r.directory) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t Snapshot::DirectoryCount() const {
+  uint64_t n = 0;
+  for (const auto& r : records) {
+    if (r.directory) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Snapshot SnapshotWalker::Walk(const Volume& volume, uint32_t system_id, SimTime now) {
+  Snapshot snap;
+  snap.system_id = system_id;
+  snap.volume_label = volume.label();
+  snap.taken_at = now;
+  snap.capacity_bytes = volume.capacity_bytes();
+  snap.used_bytes = volume.used_bytes();
+  WalkNode(*volume.root(), 0, !volume.maintain_access_times(), &snap);
+  return snap;
+}
+
+}  // namespace ntrace

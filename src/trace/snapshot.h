@@ -1,0 +1,73 @@
+// File system snapshots.
+//
+// "Each morning at 4 o'clock a thread is started by the trace agent ... to
+// take a snapshot of the local file systems. It builds this snapshot by
+// recursively traversing the file system trees, producing a sequence of
+// records containing the attributes of each file and directory in such a
+// way that the original tree can be recovered from the sequence" (section
+// 3.1). File records store name and size plus the three times; directory
+// records store the name and entry counts. On FAT volumes creation and
+// last-access times are not maintained and are ignored.
+
+#ifndef SRC_TRACE_SNAPSHOT_H_
+#define SRC_TRACE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/fs/file_node.h"
+
+namespace ntrace {
+
+struct SnapshotRecord {
+  // Depth in the tree lets the original hierarchy be reconstructed from the
+  // record sequence (pre-order), as the paper requires.
+  uint32_t depth = 0;
+  bool directory = false;
+  // File name in "short form": the paper keeps only what identifies the file
+  // type, not the full user-chosen name. We store the name as-is for files
+  // (type categorization happens in the analyzer via the extension).
+  std::string name;
+  uint64_t size = 0;
+  SimTime creation_time;
+  SimTime last_access_time;
+  SimTime last_write_time;
+  // Directories only.
+  uint32_t file_entries = 0;
+  uint32_t subdirectories = 0;
+};
+
+struct Snapshot {
+  uint32_t system_id = 0;
+  std::string volume_label;
+  SimTime taken_at;
+  uint64_t capacity_bytes = 0;
+  uint64_t used_bytes = 0;
+  std::vector<SnapshotRecord> records;
+
+  uint64_t FileCount() const;
+  uint64_t DirectoryCount() const;
+};
+
+// Walks a volume, producing the pre-order record sequence.
+class SnapshotWalker {
+ public:
+  // Per-record CPU cost: a 2 GB disk snapshot took 30-90 s on a 200 MHz P6
+  // for ~25-45k files, i.e. roughly 1-2 ms per record; the agent charges
+  // this to the (4 AM, otherwise idle) timeline.
+  static constexpr int64_t kCostPerRecordTicks = 15 * 1000;  // 1.5 ms.
+
+  static Snapshot Walk(const Volume& volume, uint32_t system_id, SimTime now);
+};
+
+// A time-ordered series of snapshots of one volume, as the agent collects
+// across days; input for the section-5 churn analyses.
+struct SnapshotSeries {
+  std::vector<Snapshot> snapshots;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACE_SNAPSHOT_H_

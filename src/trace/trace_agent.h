@@ -1,0 +1,76 @@
+// The per-system trace agent.
+//
+// "On each system a trace agent is installed that provides an access point
+// for remote control of the tracing process. The trace agent is responsible
+// for taking the periodic snapshots and for directing the stream of trace
+// events towards the collection servers" (section 3). The agent here:
+//   * attaches a TraceFilterDriver atop each of the system's volumes,
+//   * owns the triple-buffered record stream to the collection server,
+//   * schedules the daily 4 AM snapshot walk of each local volume, and
+//   * exposes the snapshot series for section-5 analyses.
+
+#ifndef SRC_TRACE_TRACE_AGENT_H_
+#define SRC_TRACE_TRACE_AGENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/fs_driver.h"
+#include "src/ntio/io_manager.h"
+#include "src/sim/engine.h"
+#include "src/trace/snapshot.h"
+#include "src/trace/trace_buffer.h"
+#include "src/trace/trace_filter.h"
+
+namespace ntrace {
+
+class TraceAgent {
+ public:
+  TraceAgent(Engine& engine, IoManager& io, TraceSink& sink, uint32_t system_id,
+             TraceFilterOptions filter_options = {});
+
+  TraceAgent(const TraceAgent&) = delete;
+  TraceAgent& operator=(const TraceAgent&) = delete;
+
+  // Attaches the trace filter on top of the volume at `prefix` (which must
+  // already be registered with the I/O manager). `fs` is used for snapshot
+  // walks of local volumes; pass nullptr to skip snapshotting (e.g. the
+  // redirector, which the paper traces but does not snapshot).
+  void AttachToVolume(const std::string& prefix, FileSystemDriver* fs);
+
+  // Schedules daily snapshots at 4 AM, starting on day 0 if `first_at`
+  // is before 4 AM, otherwise the next morning.
+  void ScheduleDailySnapshots();
+
+  // Takes an immediate snapshot of every snapshot-enabled volume.
+  void TakeSnapshots();
+
+  // Ships any buffered records (end of run).
+  void Flush();
+
+  const std::vector<SnapshotSeries>& snapshot_series() const { return series_; }
+  TraceBuffer& buffer() { return buffer_; }
+  TraceFilterDriver& filter() { return *filter_; }
+  uint32_t system_id() const { return system_id_; }
+
+ private:
+  struct Attached {
+    std::string prefix;
+    FileSystemDriver* fs = nullptr;  // Null: no snapshots.
+    size_t series_index = 0;
+  };
+
+  Engine& engine_;
+  IoManager& io_;
+  TraceBuffer buffer_;
+  std::unique_ptr<TraceFilterDriver> filter_;
+  uint32_t system_id_;
+  std::vector<Attached> attached_;
+  std::vector<SnapshotSeries> series_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACE_TRACE_AGENT_H_

@@ -1,0 +1,65 @@
+#include "src/trace/trace_buffer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ntrace {
+
+TraceBuffer::TraceBuffer(Engine& engine, TraceSink& sink, SimDuration ship_latency_per_record)
+    : engine_(engine), sink_(sink), ship_latency_per_record_(ship_latency_per_record) {
+  for (auto& buf : buffers_) {
+    buf.reserve(kRecordsPerBuffer);
+  }
+}
+
+void TraceBuffer::Append(const TraceRecord& record) {
+  std::vector<TraceRecord>& buf = buffers_[active_];
+  if (buf.size() >= kRecordsPerBuffer) {
+    // Rotate: ship this buffer, find a free one.
+    ShipBuffer(active_);
+    size_t next = kNumBuffers;
+    for (size_t i = 0; i < kNumBuffers; ++i) {
+      const size_t candidate = (active_ + 1 + i) % kNumBuffers;
+      if (!in_flight_[candidate]) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == kNumBuffers) {
+      // Every buffer is in flight: the overflow condition the paper's agent
+      // watches for.
+      ++records_dropped_;
+      return;
+    }
+    active_ = next;
+  }
+  buffers_[active_].push_back(record);
+  ++records_written_;
+}
+
+void TraceBuffer::AppendName(NameRecord name) { sink_.DeliverName(std::move(name)); }
+
+void TraceBuffer::ShipBuffer(size_t index) {
+  if (buffers_[index].empty() || in_flight_[index]) {
+    return;
+  }
+  in_flight_[index] = true;
+  ++buffers_shipped_;
+  std::vector<TraceRecord> payload = std::move(buffers_[index]);
+  buffers_[index].clear();
+  buffers_[index].reserve(kRecordsPerBuffer);
+  const SimDuration latency =
+      ship_latency_per_record_ * static_cast<int64_t>(payload.size());
+  engine_.Schedule(latency, [this, index, payload = std::move(payload)]() mutable {
+    sink_.DeliverRecords(std::move(payload));
+    in_flight_[index] = false;
+  });
+}
+
+void TraceBuffer::FlushAll() {
+  for (size_t i = 0; i < kNumBuffers; ++i) {
+    ShipBuffer(i);
+  }
+}
+
+}  // namespace ntrace

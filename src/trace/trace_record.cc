@@ -1,0 +1,29 @@
+#include "src/trace/trace_record.h"
+
+namespace ntrace {
+
+std::string_view TraceEventName(TraceEvent e) {
+  if (IsIrpEvent(e)) {
+    return IrpMajorName(static_cast<IrpMajor>(static_cast<uint16_t>(e)));
+  }
+  switch (e) {
+    case TraceEvent::kFastIoRead:
+      return "FASTIO_READ";
+    case TraceEvent::kFastIoWrite:
+      return "FASTIO_WRITE";
+    case TraceEvent::kFastIoQueryBasicInfo:
+      return "FASTIO_QUERY_BASIC_INFO";
+    case TraceEvent::kFastIoQueryStandardInfo:
+      return "FASTIO_QUERY_STANDARD_INFO";
+    case TraceEvent::kFastIoCheckIfPossible:
+      return "FASTIO_CHECK_IF_POSSIBLE";
+    case TraceEvent::kFastIoReadNotPossible:
+      return "FASTIO_READ_NOT_POSSIBLE";
+    case TraceEvent::kFastIoWriteNotPossible:
+      return "FASTIO_WRITE_NOT_POSSIBLE";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,53 @@
+// Trace sets: the collected data of one tracing run, plus binary
+// serialization so runs can be written to disk and analyzed offline --
+// fulfilling the paper's goal of a data collection "available for public
+// inspection ... used as input for file system simulation studies".
+
+#ifndef SRC_TRACE_TRACE_SET_H_
+#define SRC_TRACE_TRACE_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace_record.h"
+
+namespace ntrace {
+
+class TraceSet {
+ public:
+  std::vector<TraceRecord> records;
+  std::vector<NameRecord> names;
+  // Process id -> image name, captured at the end of the run.
+  std::unordered_map<uint32_t, std::string> process_names;
+
+  // Lookup helpers (indexes built lazily).
+  const std::string* PathOf(uint64_t file_object) const;
+  const std::string* ProcessNameOf(uint32_t pid) const;
+
+  // Returns a copy without cache-manager-induced paging duplicates (the
+  // paper's analysis-time filtering, section 3.3). VM-originated paging
+  // (image loads, mapped faults) is retained.
+  TraceSet WithoutCacheInducedPaging() const;
+
+  // Returns only the records of one system.
+  TraceSet ForSystem(uint32_t system_id) const;
+  std::vector<uint32_t> SystemIds() const;
+
+  // Stable sort by completion time (records arrive batched per system).
+  void SortByTime();
+
+  // Binary serialization. Returns false on I/O failure / bad magic.
+  bool SaveTo(const std::string& path) const;
+  static bool LoadFrom(const std::string& path, TraceSet* out);
+
+ private:
+  mutable std::unordered_map<uint64_t, size_t> name_index_;
+  mutable bool name_index_built_ = false;
+  void BuildNameIndex() const;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACE_TRACE_SET_H_

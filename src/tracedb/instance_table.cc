@@ -1,0 +1,166 @@
+#include "src/tracedb/instance_table.h"
+
+#include <unordered_map>
+
+namespace ntrace {
+
+InstanceTable InstanceTable::Build(const TraceSet& trace) {
+  InstanceTable table;
+  std::unordered_map<uint64_t, size_t> index;  // file_object -> row.
+
+  auto row_for = [&](const TraceRecord& r) -> Instance* {
+    auto it = index.find(r.file_object);
+    if (it == index.end()) {
+      return nullptr;
+    }
+    return &table.rows_[it->second];
+  };
+
+  for (const TraceRecord& r : trace.records) {
+    const TraceEvent ev = r.Event();
+    if (ev == TraceEvent::kIrpCreate) {
+      Instance row;
+      row.file_object = r.file_object;
+      row.system_id = r.system_id;
+      row.process_id = r.process_id;
+      const std::string* path = trace.PathOf(r.file_object);
+      if (path != nullptr) {
+        row.path = *path;
+        row.file_type = FileTypeDimension::Categorize(*path);
+      }
+      row.open_status = r.Status();
+      row.open_failed = NtError(r.Status());
+      row.disposition = static_cast<CreateDisposition>(r.disposition);
+      row.create_action = static_cast<CreateAction>(r.create_action);
+      row.create_options = r.create_options;
+      row.file_attributes = r.file_attributes;
+      row.open_start = r.start_ticks;
+      row.open_complete = r.complete_ticks;
+      row.file_size_at_open = r.file_size;
+      row.max_file_size = r.file_size;
+      index[r.file_object] = table.rows_.size();
+      table.rows_.push_back(std::move(row));
+      continue;
+    }
+
+    Instance* row = row_for(r);
+    if (row == nullptr) {
+      continue;  // Operation on an object opened before the trace started.
+    }
+    row->max_file_size = std::max(row->max_file_size, r.file_size);
+
+    if (r.IsPagingIo()) {
+      if ((r.irp_flags & kIrpReadAhead) != 0) {
+        ++row->readahead_irps;
+      } else if ((r.irp_flags & kIrpLazyWrite) != 0) {
+        ++row->lazywrite_irps;
+      } else if ((r.irp_flags & kIrpCacheFault) != 0) {
+        if (ev == TraceEvent::kIrpRead) {
+          ++row->pagein_irps;
+        } else if (ev == TraceEvent::kIrpWrite) {
+          ++row->lazywrite_irps;  // Flush-path write-behind.
+        } else if (ev == TraceEvent::kIrpSetInformation &&
+                   static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kEndOfFile) {
+          row->seteof_at_close = true;
+        }
+      } else {
+        ++row->vm_paging_irps;
+      }
+      continue;
+    }
+
+    switch (ev) {
+      case TraceEvent::kIrpRead:
+      case TraceEvent::kFastIoRead: {
+        const bool fastio = ev == TraceEvent::kFastIoRead;
+        if (NtError(r.Status()) || r.Status() == NtStatus::kEndOfFile) {
+          ++row->read_errors;
+          if (r.Status() != NtStatus::kEndOfFile) {
+            break;
+          }
+        }
+        fastio ? ++row->fastio_reads : ++row->irp_reads;
+        row->bytes_read += r.returned;
+        row->ops.push_back(
+            RwOp{r.offset, r.length, false, fastio, r.start_ticks, r.complete_ticks});
+        break;
+      }
+      case TraceEvent::kIrpWrite:
+      case TraceEvent::kFastIoWrite: {
+        const bool fastio = ev == TraceEvent::kFastIoWrite;
+        fastio ? ++row->fastio_writes : ++row->irp_writes;
+        row->bytes_written += r.returned;
+        row->ops.push_back(
+            RwOp{r.offset, r.length, true, fastio, r.start_ticks, r.complete_ticks});
+        break;
+      }
+      case TraceEvent::kFastIoReadNotPossible:
+        ++row->fastio_read_fallbacks;
+        break;
+      case TraceEvent::kFastIoWriteNotPossible:
+        ++row->fastio_write_fallbacks;
+        break;
+      case TraceEvent::kIrpCleanup:
+        row->cleanup_time = r.complete_ticks;
+        break;
+      case TraceEvent::kIrpClose:
+        row->close_time = r.complete_ticks;
+        break;
+      case TraceEvent::kIrpDirectoryControl:
+        ++row->directory_ops;
+        if (NtError(r.Status())) {
+          ++row->control_errors;
+        }
+        break;
+      case TraceEvent::kIrpSetInformation:
+        if (static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kDisposition &&
+            r.offset != 0) {
+          row->set_delete_disposition = true;
+        }
+        [[fallthrough]];
+      case TraceEvent::kIrpQueryInformation:
+      case TraceEvent::kIrpQueryVolumeInformation:
+      case TraceEvent::kIrpFileSystemControl:
+      case TraceEvent::kIrpDeviceControl:
+      case TraceEvent::kIrpFlushBuffers:
+      case TraceEvent::kIrpLockControl:
+      case TraceEvent::kIrpQueryEa:
+      case TraceEvent::kIrpSetEa:
+      case TraceEvent::kIrpQuerySecurity:
+      case TraceEvent::kIrpSetSecurity:
+      case TraceEvent::kFastIoQueryBasicInfo:
+      case TraceEvent::kFastIoQueryStandardInfo:
+        ++row->control_ops;
+        if (NtError(r.Status())) {
+          ++row->control_errors;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return table;
+}
+
+std::vector<const Instance*> InstanceTable::SuccessfulOpens() const {
+  std::vector<const Instance*> out;
+  out.reserve(rows_.size());
+  for (const Instance& row : rows_) {
+    if (!row.open_failed) {
+      out.push_back(&row);
+    }
+  }
+  return out;
+}
+
+std::vector<const Instance*> InstanceTable::DataSessions() const {
+  std::vector<const Instance*> out;
+  for (const Instance& row : rows_) {
+    if (!row.open_failed && row.HasData()) {
+      out.push_back(&row);
+    }
+  }
+  return out;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,56 @@
+// Group-by / drill-down helpers for the star schema.
+//
+// The paper's OLAP cubes summarize the fact tables along dimension axes with
+// multiple levels of detail (section 4). These templates provide the
+// equivalent in-process operation: group a fact range by an arbitrary key,
+// accumulating streaming statistics or sums, and pivot over two keys.
+
+#ifndef SRC_TRACEDB_ROLLUP_H_
+#define SRC_TRACEDB_ROLLUP_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/stats/descriptive.h"
+
+namespace ntrace {
+
+// Groups `facts` by key_fn, accumulating value_fn into StreamingStats.
+template <typename Range, typename KeyFn, typename ValueFn>
+auto GroupStats(const Range& facts, KeyFn key_fn, ValueFn value_fn) {
+  using Key = std::decay_t<decltype(key_fn(*std::begin(facts)))>;
+  std::map<Key, StreamingStats> out;
+  for (const auto& fact : facts) {
+    out[key_fn(fact)].Add(static_cast<double>(value_fn(fact)));
+  }
+  return out;
+}
+
+// Groups `facts` by key_fn, counting rows.
+template <typename Range, typename KeyFn>
+auto GroupCounts(const Range& facts, KeyFn key_fn) {
+  using Key = std::decay_t<decltype(key_fn(*std::begin(facts)))>;
+  std::map<Key, uint64_t> out;
+  for (const auto& fact : facts) {
+    ++out[key_fn(fact)];
+  }
+  return out;
+}
+
+// Two-dimensional pivot: (row key, column key) -> streaming stats. Supports
+// the drill-down pattern: roll up along one axis by re-keying.
+template <typename Range, typename RowFn, typename ColFn, typename ValueFn>
+auto Pivot(const Range& facts, RowFn row_fn, ColFn col_fn, ValueFn value_fn) {
+  using RowKey = std::decay_t<decltype(row_fn(*std::begin(facts)))>;
+  using ColKey = std::decay_t<decltype(col_fn(*std::begin(facts)))>;
+  std::map<std::pair<RowKey, ColKey>, StreamingStats> out;
+  for (const auto& fact : facts) {
+    out[{row_fn(fact), col_fn(fact)}].Add(static_cast<double>(value_fn(fact)));
+  }
+  return out;
+}
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACEDB_ROLLUP_H_

@@ -1,0 +1,90 @@
+#include "src/workload/app_model.h"
+
+#include <algorithm>
+
+namespace ntrace {
+
+AppModel::AppModel(SystemContext& ctx, std::string image_name, bool takes_user_input,
+                   AppModelConfig config, uint64_t seed)
+    : ctx_(ctx),
+      rng_(seed),
+      image_name_(std::move(image_name)),
+      takes_user_input_(takes_user_input),
+      config_(config),
+      off_time_(config.off_xm_seconds / std::max(config.activity_scale, 1e-6),
+                config.off_alpha) {}
+
+void AppModel::Launch(SimTime session_end) {
+  session_end_ = session_end;
+  running_ = true;
+  ++generation_;
+  pid_ = ctx_.processes->Spawn(image_name_, ctx_.engine->Now(), takes_user_input_);
+
+  // Image + DLL loading through memory-mapped sections (section 3.3). The
+  // number of libraries an application touches is itself heavy-tailed.
+  if (!ctx_.catalog->executables.empty()) {
+    LoadImage(PickFrom(ctx_.catalog->executables));
+  }
+  const int dll_count = std::min<int>(
+      static_cast<int>(ParetoDistribution(3.0, 1.3).Sample(rng_)), 40);
+  for (int i = 0; i < dll_count && !ctx_.catalog->dlls.empty(); ++i) {
+    LoadImage(PickFrom(ctx_.catalog->dlls));
+  }
+  OnLaunched();
+  ScheduleNextBurst();
+}
+
+void AppModel::OnSessionEnd() {
+  running_ = false;
+  ++generation_;
+  if (pid_ != 0) {
+    ctx_.processes->Exit(pid_, ctx_.engine->Now());
+  }
+}
+
+bool AppModel::SessionActive() const {
+  return running_ && ctx_.engine->Now() < session_end_;
+}
+
+void AppModel::ScheduleNextBurst() {
+  if (!running_) {
+    return;
+  }
+  const double gap_s = off_time_.Sample(rng_);
+  const uint64_t gen = generation_;
+  ctx_.engine->Schedule(SimDuration::FromSecondsF(gap_s), [this, gen] {
+    if (gen != generation_ || !SessionActive()) {
+      return;
+    }
+    ++bursts_run_;
+    RunBurst();
+    ScheduleNextBurst();
+  });
+}
+
+void AppModel::LoadImage(const std::string& path) {
+  NtStatus status;
+  FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData | kAccessExecute,
+                                          Win32Disposition::kOpenExisting, 0, pid_, &status);
+  if (fo == nullptr) {
+    return;
+  }
+  FileStandardInfo info;
+  ctx_.io->QueryStandardInfo(*fo, &info);
+  const uint64_t section = ctx_.vm->CreateSection(*fo, info.end_of_file, /*image=*/true);
+  // Demand paging touches only part of the image; warm restarts find the
+  // pages still resident (soft faults).
+  const double fraction = rng_.UniformReal(0.3, 0.9);
+  ctx_.vm->FaultRange(section, 0, static_cast<uint64_t>(info.end_of_file * fraction));
+  ctx_.vm->DeleteSection(section);
+  ctx_.win32->CloseHandle(*fo);
+}
+
+std::string AppModel::PickFrom(const std::vector<std::string>& v) {
+  if (v.empty()) {
+    return "";
+  }
+  return v[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+}  // namespace ntrace

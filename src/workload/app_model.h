@@ -1,0 +1,104 @@
+// Application behavior models: the workload generator's unit of activity.
+//
+// The paper's section 7 finding drives the design: file system activity is
+// process-controlled, not user-controlled ("more than 92% of the file
+// accesses in our traces were from processes that take no direct user
+// input"), with heavy-tailed process lifetimes, library counts and access
+// spacing. Each model is a process that, once launched, performs *bursts*
+// of file operations separated by heavy-tailed (Pareto) OFF periods --
+// the classical construction that yields self-similar aggregate traffic.
+
+#ifndef SRC_WORKLOAD_APP_MODEL_H_
+#define SRC_WORKLOAD_APP_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/mm/vm_manager.h"
+#include "src/ntio/io_manager.h"
+#include "src/ntio/process.h"
+#include "src/sim/engine.h"
+#include "src/stats/distributions.h"
+#include "src/win32/win32_api.h"
+#include "src/workload/fs_image.h"
+
+namespace ntrace {
+
+// Everything a model needs to act on one simulated machine.
+struct SystemContext {
+  Engine* engine = nullptr;
+  IoManager* io = nullptr;
+  Win32Api* win32 = nullptr;
+  VmManager* vm = nullptr;
+  ProcessTable* processes = nullptr;
+  ImageCatalog* catalog = nullptr;
+  uint32_t system_id = 0;
+};
+
+struct AppModelConfig {
+  // OFF-period (think time) between bursts: Pareto(xm seconds, alpha).
+  double off_xm_seconds = 2.0;
+  double off_alpha = 1.3;
+  // Mean number of bursts per session hour (used to gate total volume).
+  double activity_scale = 1.0;
+};
+
+class AppModel {
+ public:
+  AppModel(SystemContext& ctx, std::string image_name, bool takes_user_input,
+           AppModelConfig config, uint64_t seed);
+  virtual ~AppModel() = default;
+
+  AppModel(const AppModel&) = delete;
+  AppModel& operator=(const AppModel&) = delete;
+
+  // Spawns the process, demand-loads its image + a heavy-tailed number of
+  // DLLs, and schedules the first burst. Activity stops at `session_end`.
+  void Launch(SimTime session_end);
+
+  // Called by the session driver at logout; default stops future bursts and
+  // exits the process.
+  virtual void OnSessionEnd();
+
+  const std::string& image_name() const { return image_name_; }
+  uint32_t pid() const { return pid_; }
+  uint64_t bursts_run() const { return bursts_run_; }
+
+ protected:
+  // One ON-period of application work. Implementations issue file
+  // operations synchronously (the engine charges their latency).
+  virtual void RunBurst() = 0;
+
+  // Subclass hook after the image is loaded at launch.
+  virtual void OnLaunched() {}
+
+  void ScheduleNextBurst();
+  bool SessionActive() const;
+
+  // Demand-loads a fraction of an executable/dll through the VM manager.
+  void LoadImage(const std::string& path);
+
+  // Pick a uniformly random element; empty-vector safe (returns "").
+  std::string PickFrom(const std::vector<std::string>& v);
+
+  SystemContext& ctx_;
+  Rng rng_;
+  uint32_t pid_ = 0;
+
+ private:
+  std::string image_name_;
+  bool takes_user_input_;
+  AppModelConfig config_;
+  ParetoDistribution off_time_;
+  SimTime session_end_;
+  bool running_ = false;
+  uint64_t bursts_run_ = 0;
+  uint64_t generation_ = 0;  // Guards scheduled bursts across sessions.
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_APP_MODEL_H_

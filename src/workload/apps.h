@@ -1,0 +1,174 @@
+// Concrete application models.
+//
+// Each model reproduces a behavior the paper explicitly names:
+//   NotepadModel     - the 26-system-call save sequence of section 1.
+//   ExplorerModel    - the GUI whose file access is driven by file system
+//                      structure, not user requests (section 7); directory
+//                      polls and attribute probes (section 8.3).
+//   OfficeModel      - document open/save with the temp-write-rename dance
+//                      that produces the section 6.3 file-lifetime pattern.
+//   BrowserModel     - WWW-cache churn: up to 90% of profile changes happen
+//                      in the cache (section 5).
+//   MailModel        - mailbox append; "a non-Microsoft mailer uses a single
+//                      4 Mbyte buffer to write to its files" (section 10).
+//   CompilerModel    - development bursts with 5-8 MB precompiled headers
+//                      and incremental linkage state: the paper's peak-load
+//                      source (section 6.1).
+//   JavaToolModel    - "some of the Microsoft Java Tools read files in 2 and
+//                      4 byte sequences, often resulting in thousands of
+//                      reads for a single class file" (section 10).
+//   ScientificModel  - 100-300 MB files read in small portions through
+//                      memory mappings (section 6.1).
+//   DatabaseModel    - administrative database work: random 4 KB page I/O,
+//                      flush-after-every-write clients (section 9.2).
+//   ServicesModel    - background services; loadwc-style long-held opens
+//                      (section 8.1) and the baseline activity used as the
+//                      table-2 user-activity threshold.
+//   WinlogonModel    - profile download at logon / migration at logout
+//                      (section 5); its lifetime depends on profile content.
+
+#ifndef SRC_WORKLOAD_APPS_H_
+#define SRC_WORKLOAD_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/app_model.h"
+
+namespace ntrace {
+
+class NotepadModel final : public AppModel {
+ public:
+  NotepadModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+
+ private:
+  // The 26-system-call save of a small text file.
+  void SaveDance(const std::string& path, uint32_t size);
+};
+
+class ExplorerModel final : public AppModel {
+ public:
+  ExplorerModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class OfficeModel final : public AppModel {
+ public:
+  OfficeModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+
+ private:
+  void OpenDocument(const std::string& path);
+  void SaveDocument(const std::string& path, uint64_t size);
+  std::string open_document_;  // Path currently being edited ("" if none).
+  uint64_t document_size_ = 0;
+};
+
+class BrowserModel final : public AppModel {
+ public:
+  BrowserModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+
+ private:
+  uint64_t pages_visited_ = 0;
+};
+
+class MailModel final : public AppModel {
+ public:
+  MailModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class CompilerModel final : public AppModel {
+ public:
+  CompilerModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+
+ private:
+  void CompileUnit(const std::string& source);
+  void Link();
+  std::vector<std::string> objects_;
+  std::vector<std::string> intermediates_;  // Deleted by the linker process.
+  uint32_t linker_pid_ = 0;
+};
+
+class JavaToolModel final : public AppModel {
+ public:
+  JavaToolModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class ScientificModel final : public AppModel {
+ public:
+  ScientificModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class DatabaseModel final : public AppModel {
+ public:
+  DatabaseModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class ServicesModel final : public AppModel {
+ public:
+  ServicesModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+  void OnSessionEnd() override;
+
+ protected:
+  void OnLaunched() override;
+  void RunBurst() override;
+
+ private:
+  // loadwc-style handles held for the whole user session (section 8.1).
+  std::vector<FileObject*> held_;
+};
+
+// The fine-grained shell/desktop poll: "the 'volume is mounted' control
+// operation is issued between up to 40 times a second on any reasonably
+// active system" (section 8.3). Sub-second heavy-tailed gaps between tiny
+// probes give the open-arrival process its short-range structure.
+class MonitorModel final : public AppModel {
+ public:
+  MonitorModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+ protected:
+  void RunBurst() override;
+};
+
+class WinlogonModel final : public AppModel {
+ public:
+  WinlogonModel(SystemContext& ctx, AppModelConfig config, uint64_t seed);
+
+  // Synchronous profile download, called by the session driver at logon.
+  void Logon();
+  // Migrates profile changes back to the share at logout.
+  void OnSessionEnd() override;
+
+ protected:
+  void RunBurst() override;  // Winlogon idles between logon and logout.
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_APPS_H_

@@ -1,0 +1,89 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+#include "src/workload/namegen.h"
+
+namespace ntrace {
+
+BrowserModel::BrowserModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "iexplore.exe", /*takes_user_input=*/true, config, seed) {}
+
+void BrowserModel::RunBurst() {
+  NameGenerator namegen(rng_.NextU64());
+  SizeModel sizemodel(rng_.NextU64());
+  const int pages = static_cast<int>(rng_.UniformInt(1, 5));
+  for (int p = 0; p < pages; ++p) {
+    ++pages_visited_;
+    // History/index update: small read-modify-write in the profile.
+    const std::string index = ctx_.catalog->profile_dir + "\\index.dat";
+    FileObject* idx = ctx_.win32->CreateFile(index, kAccessReadData | kAccessWriteData,
+                                             Win32Disposition::kOpenAlways, 0, pid_);
+    if (idx != nullptr) {
+      // Hash-bucket lookups: random-offset read-modify-write pairs (the
+      // read/write sessions of table 3 are random-dominated).
+      FileStandardInfo idx_info;
+      ctx_.io->QueryStandardInfo(*idx, &idx_info);
+      const uint64_t buckets = std::max<uint64_t>(idx_info.end_of_file / 512, 1);
+      const int touches = static_cast<int>(rng_.UniformInt(2, 5));
+      for (int t = 0; t < touches; ++t) {
+        const uint64_t slot =
+            static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(buckets))) * 512;
+        ctx_.win32->SetFilePointer(*idx, slot);
+        ctx_.win32->ReadFile(*idx, 512, nullptr);
+        ctx_.win32->SetFilePointer(*idx, slot);
+        ctx_.win32->WriteFile(*idx, 512, nullptr);
+      }
+      ctx_.win32->CloseHandle(*idx);
+    }
+
+    // Page resources: cache hits re-read, misses create new cache entries.
+    const int resources = static_cast<int>(rng_.UniformInt(1, 12));
+    for (int r = 0; r < resources; ++r) {
+      const bool hit = rng_.Bernoulli(0.55) && !ctx_.catalog->web_cache_files.empty();
+      if (hit) {
+        const std::string path = PickFrom(ctx_.catalog->web_cache_files);
+        if (ctx_.win32->GetFileAttributes(path, pid_).has_value()) {
+          FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData,
+                                                  Win32Disposition::kOpenExisting, 0, pid_);
+          if (fo != nullptr) {
+            ReadToEnd(*ctx_.win32, *fo, 4096, &rng_);
+            ProcessingPause(*ctx_.win32, rng_, 2.0);  // Render.
+            ctx_.win32->CloseHandle(*fo);
+          }
+        }
+        continue;
+      }
+      // Miss: download into a new cache entry.
+      const std::string path = ctx_.catalog->web_cache_dir + "\\" + namegen.WebCacheName();
+      const uint64_t size = sizemodel.SampleSize(FileCategory::kWeb);
+      FileObject* fo = ctx_.win32->CreateFile(path, kAccessWriteData,
+                                              Win32Disposition::kCreateAlways, 0, pid_);
+      if (fo == nullptr) {
+        continue;
+      }
+      WriteAmount(*ctx_.win32, *fo, std::min<uint64_t>(size, 2 << 20), 1460, &rng_);
+      ctx_.win32->CloseHandle(*fo);
+      // Redirect/refresh races re-create the entry within milliseconds: the
+      // paper's overwrite-within-4ms population (26% of new-file deaths).
+      if (rng_.Bernoulli(0.25)) {
+        ProcessingPause(*ctx_.win32, rng_, 0.3);
+        FileObject* again = ctx_.win32->CreateFile(path, kAccessWriteData,
+                                                   Win32Disposition::kCreateAlways, 0, pid_);
+        if (again != nullptr) {
+          WriteAmount(*ctx_.win32, *again, std::min<uint64_t>(size, 2 << 20), 1460, &rng_);
+          ctx_.win32->CloseHandle(*again);
+        }
+      }
+      // Aborted/partial downloads are removed immediately: the fast
+      // explicit-delete population of section 6.3.
+      if (rng_.Bernoulli(0.22)) {
+        ctx_.win32->DeleteFile(path, pid_);
+        continue;
+      }
+      ctx_.catalog->web_cache_files.push_back(path);
+    }
+  }
+}
+
+}  // namespace ntrace

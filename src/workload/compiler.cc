@@ -1,0 +1,147 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+CompilerModel::CompilerModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "cl.exe", /*takes_user_input=*/false, config, seed) {}
+
+void CompilerModel::CompileUnit(const std::string& source) {
+  FileObject* src = ctx_.win32->CreateFile(source, kAccessReadData,
+                                           Win32Disposition::kOpenExisting,
+                                           kW32FlagSequentialScan, pid_);
+  if (src == nullptr) {
+    return;
+  }
+  const uint64_t src_bytes = ReadToEnd(*ctx_.win32, *src, 4096, &rng_);
+  ctx_.win32->CloseHandle(*src);
+
+  // Include scan: a handful of headers, read whole.
+  const int headers = static_cast<int>(rng_.UniformInt(3, 10));
+  for (int h = 0; h < headers; ++h) {
+    const bool sdk = rng_.Bernoulli(0.4) && !ctx_.catalog->sdk_files.empty();
+    const std::string header =
+        sdk ? PickFrom(ctx_.catalog->sdk_files) : PickFrom(ctx_.catalog->headers);
+    if (header.empty()) {
+      break;
+    }
+    FileObject* fo = ctx_.win32->CreateFile(header, kAccessReadData,
+                                            Win32Disposition::kOpenExisting, 0, pid_);
+    if (fo != nullptr) {
+      ReadToEnd(*ctx_.win32, *fo, 4096, &rng_);
+      ctx_.win32->CloseHandle(*fo);
+    }
+  }
+
+  // Compiler intermediates (response file, asm temp): created here and
+  // deleted by the linker process moments later -- the paper's fast
+  // explicit deletes are mostly not performed by the creating process
+  // (section 6.3: only 36% of deletes come from the creator).
+  for (const char* suffix : {".rsp", ".asm.tmp"}) {
+    const std::string tmp = source + suffix;
+    FileObject* t = ctx_.win32->CreateFile(tmp, kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+    if (t != nullptr) {
+      ctx_.win32->WriteFile(*t, static_cast<uint32_t>(rng_.UniformInt(100, 4000)), nullptr);
+      ctx_.win32->CloseHandle(*t);
+      intermediates_.push_back(tmp);
+    }
+  }
+
+  // Object file: created fresh each compile, replacing the previous one.
+  const std::string obj = source.substr(0, source.find_last_of('.')) + ".obj";
+  FileObject* out = ctx_.win32->CreateFile(obj, kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+  if (out != nullptr) {
+    WriteAmount(*ctx_.win32, *out, std::max<uint64_t>(src_bytes * 3, 8 * 1024), 32 * 1024);
+    ProcessingPause(*ctx_.win32, rng_, 3.0);  // Code generation.
+    ctx_.win32->CloseHandle(*out);
+    objects_.push_back(obj);
+  }
+}
+
+void CompilerModel::Link() {
+  // The linker is its own process.
+  if (linker_pid_ == 0 || rng_.Bernoulli(0.5)) {
+    linker_pid_ = ctx_.processes->Spawn("link.exe", ctx_.engine->Now(), false);
+  }
+  // It consumes and removes the compiler's intermediates within the build.
+  for (const std::string& tmp : intermediates_) {
+    ctx_.win32->DeleteFile(tmp, linker_pid_);
+  }
+  intermediates_.clear();
+  // Read every object plus a few libraries, write the image and the
+  // incremental-linkage state: "a series of medium size files (5-8 Mb),
+  // containing precompiled header files, incremental linkage state and
+  // development support data, was read and written" -- the paper's peak
+  // throughput case (section 6.1).
+  for (const std::string& obj : objects_) {
+    FileObject* fo = ctx_.win32->CreateFile(obj, kAccessReadData,
+                                            Win32Disposition::kOpenExisting,
+                                            kW32FlagSequentialScan, pid_);
+    if (fo != nullptr) {
+      ReadToEnd(*ctx_.win32, *fo, 65536, &rng_);
+      ctx_.win32->CloseHandle(*fo);
+    }
+  }
+  const std::string& project = ctx_.catalog->project_dir;
+  FileObject* exe = ctx_.win32->CreateFile(project + "\\build.exe", kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+  if (exe != nullptr) {
+    WriteAmount(*ctx_.win32, *exe,
+                static_cast<uint64_t>(rng_.UniformInt(1, 4)) * 1024 * 1024, 65536);
+    ctx_.win32->CloseHandle(*exe);
+  }
+  // Incremental link state: read-modify-write of a 5-8 MB file.
+  FileObject* ilk = ctx_.win32->CreateFile(project + "\\build.ilk",
+                                           kAccessReadData | kAccessWriteData,
+                                           Win32Disposition::kOpenAlways, 0, pid_);
+  if (ilk != nullptr) {
+    const uint64_t ilk_size = static_cast<uint64_t>(rng_.UniformInt(5, 8)) * 1024 * 1024;
+    const int patches = static_cast<int>(rng_.UniformInt(8, 30));
+    for (int i = 0; i < patches; ++i) {
+      const uint64_t offset =
+          static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(ilk_size))) &
+          ~uint64_t{4095};
+      ctx_.win32->SetFilePointer(*ilk, offset);
+      ctx_.win32->ReadFile(*ilk, 65536, nullptr);
+      ctx_.win32->SetFilePointer(*ilk, offset);
+      ctx_.win32->WriteFile(*ilk, 65536, nullptr);
+    }
+    ctx_.win32->CloseHandle(*ilk);
+  }
+  // Debug database.
+  FileObject* pdb = ctx_.win32->CreateFile(project + "\\build.pdb", kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+  if (pdb != nullptr) {
+    WriteAmount(*ctx_.win32, *pdb,
+                static_cast<uint64_t>(rng_.UniformInt(2, 8)) * 1024 * 1024, 65536);
+    ctx_.win32->CloseHandle(*pdb);
+  }
+  objects_.clear();
+}
+
+void CompilerModel::RunBurst() {
+  if (ctx_.catalog->sources.empty() || ctx_.catalog->project_dir.empty()) {
+    return;
+  }
+  // Precompiled header read at build start (5-8 MB, sequential 64 KB).
+  if (!ctx_.catalog->pch_file.empty()) {
+    FileObject* pch = ctx_.win32->CreateFile(ctx_.catalog->pch_file, kAccessReadData,
+                                             Win32Disposition::kOpenExisting,
+                                             kW32FlagSequentialScan, pid_);
+    if (pch != nullptr) {
+      ReadToEnd(*ctx_.win32, *pch, 65536, &rng_);
+      ctx_.win32->CloseHandle(*pch);
+    }
+  }
+  const int units = static_cast<int>(rng_.UniformInt(1, 5));
+  for (int u = 0; u < units; ++u) {
+    CompileUnit(PickFrom(ctx_.catalog->sources));
+  }
+  Link();
+}
+
+}  // namespace ntrace

@@ -1,0 +1,78 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+DatabaseModel::DatabaseModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "dbengine.exe", /*takes_user_input=*/false, config, seed) {}
+
+void DatabaseModel::RunBurst() {
+  const std::string path = PickFrom(ctx_.catalog->database_files);
+  if (path.empty()) {
+    return;
+  }
+  // Database engines are among the processes that keep files open for
+  // 40-50% of their lifetime (section 8.1); here the handle spans the whole
+  // burst of transactions.
+  const uint32_t flags = rng_.Bernoulli(0.3)
+                             ? (kW32FlagRandomAccess | kW32FlagWriteThrough)
+                             : kW32FlagRandomAccess;
+  FileObject* db = ctx_.win32->CreateFile(path, kAccessReadData | kAccessWriteData,
+                                          Win32Disposition::kOpenExisting, flags, pid_);
+  if (db == nullptr) {
+    return;
+  }
+  FileStandardInfo info;
+  ctx_.io->QueryStandardInfo(*db, &info);
+  const uint64_t pages = std::max<uint64_t>(info.end_of_file / 4096, 1);
+  const int transactions = static_cast<int>(rng_.UniformInt(5, 50));
+  for (int t = 0; t < transactions; ++t) {
+    const uint64_t page = static_cast<uint64_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(pages) - 1));
+    ctx_.io->Lock(*db, page * 4096, 4096);
+    ctx_.win32->SetFilePointer(*db, page * 4096);
+    ctx_.win32->ReadFile(*db, 4096, nullptr);
+    if (rng_.Bernoulli(0.4)) {
+      ctx_.win32->SetFilePointer(*db, page * 4096);
+      ctx_.win32->WriteFile(*db, 4096, nullptr);
+      // "The dominant strategy used by 87% of those applications was to
+      // flush after each write operation" (section 9.2).
+      ctx_.win32->FlushFileBuffers(*db);
+    }
+    ctx_.io->Unlock(*db, page * 4096, 4096);
+  }
+  ctx_.win32->CloseHandle(*db);
+
+  // Read-only report query: random page reads without writes.
+  if (rng_.Bernoulli(0.35)) {
+    FileObject* ro = ctx_.win32->CreateFile(path, kAccessReadData,
+                                            Win32Disposition::kOpenExisting,
+                                            kW32FlagRandomAccess, pid_);
+    if (ro != nullptr) {
+      const int scans = static_cast<int>(rng_.UniformInt(10, 40));
+      for (int s = 0; s < scans; ++s) {
+        const uint64_t page = static_cast<uint64_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(pages) - 1));
+        ctx_.win32->SetFilePointer(*ro, page * 4096);
+        ctx_.win32->ReadFile(*ro, 4096, nullptr);
+      }
+      ctx_.win32->CloseHandle(*ro);
+    }
+  }
+
+  // Transaction log append.
+  const std::string log = path + ".log";
+  FileObject* lg = ctx_.win32->CreateFile(log, kAccessWriteData,
+                                          Win32Disposition::kOpenAlways, 0, pid_);
+  if (lg != nullptr) {
+    FileStandardInfo log_info;
+    ctx_.io->QueryStandardInfo(*lg, &log_info);
+    ctx_.win32->SetFilePointer(*lg, log_info.end_of_file);
+    ctx_.win32->WriteFile(*lg, WriteRequestSize(rng_), nullptr);
+    ctx_.win32->CloseHandle(*lg);
+  }
+}
+
+}  // namespace ntrace

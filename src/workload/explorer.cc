@@ -1,0 +1,62 @@
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+ExplorerModel::ExplorerModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "explorer.exe", /*takes_user_input=*/true, config, seed) {}
+
+void ExplorerModel::RunBurst() {
+  // "It is the structure and content of the file system that determines
+  // explorer's file system interactions, not the user requests" (section
+  // 7): browse a few directories, probing attributes along the way.
+  const int dirs = static_cast<int>(rng_.UniformInt(1, 3));
+  for (int d = 0; d < dirs; ++d) {
+    const std::string dir = PickFrom(ctx_.catalog->directories);
+    if (dir.empty()) {
+      continue;
+    }
+    FileObject* handle = nullptr;
+    std::vector<FindData> entries;
+    if (!ctx_.win32->FindFirstFile(dir, "*", pid_, &handle, &entries)) {
+      if (handle != nullptr) {
+        ctx_.win32->FindClose(*handle);
+      }
+      continue;
+    }
+    // Enumerate a few more chunks (not necessarily the whole directory).
+    int chunks = static_cast<int>(rng_.UniformInt(0, 4));
+    while (chunks-- > 0 && ctx_.win32->FindNextFile(*handle, &entries)) {
+    }
+    ctx_.win32->FindClose(*handle);
+    // The shell stats a large share of the entries for icons/details, and
+    // probes shortcut targets that often no longer exist.
+    for (const FindData& e : entries) {
+      if (rng_.Bernoulli(0.55)) {
+        ctx_.win32->GetFileAttributes(dir + "\\" + e.name, pid_);
+      }
+      if (rng_.Bernoulli(0.03)) {
+        ctx_.win32->GetFileAttributes(dir + "\\" + e.name + ".lnk", pid_);
+      }
+    }
+  }
+  // Free-space poll for the status bar.
+  if (rng_.Bernoulli(0.3)) {
+    ctx_.win32->GetDiskFreeSpace(ctx_.catalog->local_prefix, pid_);
+  }
+  // Shell settings read (stdio-buffered small reads).
+  if (rng_.Bernoulli(0.4)) {
+    const std::string cfg = PickFrom(ctx_.catalog->config_files);
+    if (!cfg.empty()) {
+      FileObject* fo = ctx_.win32->CreateFile(cfg, kAccessReadData,
+                                              Win32Disposition::kOpenExisting, 0, pid_);
+      if (fo != nullptr) {
+        ctx_.win32->ReadFile(*fo, 512, nullptr);
+        ctx_.win32->ReadFile(*fo, 512, nullptr);
+        ctx_.win32->CloseHandle(*fo);
+      }
+    }
+  }
+}
+
+}  // namespace ntrace

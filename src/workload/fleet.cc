@@ -1,0 +1,111 @@
+#include "src/workload/fleet.h"
+
+namespace ntrace {
+
+CacheStats FleetResult::TotalCache() const {
+  CacheStats total;
+  for (const SystemRunStats& s : systems) {
+    total.copy_reads += s.cache.copy_reads;
+    total.copy_read_hits += s.cache.copy_read_hits;
+    total.copy_read_bytes += s.cache.copy_read_bytes;
+    total.fault_irps += s.cache.fault_irps;
+    total.fault_bytes += s.cache.fault_bytes;
+    total.readahead_irps += s.cache.readahead_irps;
+    total.readahead_bytes += s.cache.readahead_bytes;
+    total.copy_writes += s.cache.copy_writes;
+    total.copy_write_bytes += s.cache.copy_write_bytes;
+    total.rmw_faults += s.cache.rmw_faults;
+    total.lazy_write_irps += s.cache.lazy_write_irps;
+    total.lazy_write_bytes += s.cache.lazy_write_bytes;
+    total.lazy_scans += s.cache.lazy_scans;
+    total.flush_ops += s.cache.flush_ops;
+    total.flush_bytes += s.cache.flush_bytes;
+    total.seteof_on_close += s.cache.seteof_on_close;
+    total.maps_created += s.cache.maps_created;
+    total.maps_resurrected += s.cache.maps_resurrected;
+    total.teardowns += s.cache.teardowns;
+    total.purge_calls += s.cache.purge_calls;
+    total.purges_with_dirty += s.cache.purges_with_dirty;
+    total.dirty_pages_discarded += s.cache.dirty_pages_discarded;
+    total.temporary_pages_skipped += s.cache.temporary_pages_skipped;
+  }
+  return total;
+}
+
+uint64_t FleetResult::TotalFastIoReadAttempts() const {
+  uint64_t n = 0;
+  for (const auto& s : systems) {
+    n += s.fastio_read_attempts;
+  }
+  return n;
+}
+
+uint64_t FleetResult::TotalFastIoReadHits() const {
+  uint64_t n = 0;
+  for (const auto& s : systems) {
+    n += s.fastio_read_hits;
+  }
+  return n;
+}
+
+uint64_t FleetResult::TotalFastIoWriteAttempts() const {
+  uint64_t n = 0;
+  for (const auto& s : systems) {
+    n += s.fastio_write_attempts;
+  }
+  return n;
+}
+
+uint64_t FleetResult::TotalFastIoWriteHits() const {
+  uint64_t n = 0;
+  for (const auto& s : systems) {
+    n += s.fastio_write_hits;
+  }
+  return n;
+}
+
+FleetResult RunFleet(const FleetConfig& config) {
+  FleetResult result;
+  CollectionServer server;
+  Rng seeder(config.seed);
+
+  uint32_t system_id = 1;
+  auto run_category = [&](UsageCategory category, int count) {
+    for (int i = 0; i < count; ++i) {
+      SystemOptions options;
+      options.system_id = system_id++;
+      options.category = category;
+      options.seed = seeder.NextU64();
+      options.days = config.days;
+      options.activity_scale = config.activity_scale;
+      options.content_scale = config.content_scale;
+      options.cache_config = config.cache_config;
+      options.fs_options = config.fs_options;
+      options.filter_options = config.filter_options;
+      options.with_share = config.with_share;
+      options.daily_snapshots = config.daily_snapshots;
+
+      SimulatedSystem system(options, server);
+      SystemRunStats stats = system.Run();
+      // Harvest process names into the merged collection before teardown.
+      for (const auto& [pid, info] : system.processes().all()) {
+        result.trace.process_names.emplace(pid, info.image_name);
+      }
+      result.systems.push_back(std::move(stats));
+    }
+  };
+
+  run_category(UsageCategory::kWalkUp, config.walk_up);
+  run_category(UsageCategory::kPool, config.pool);
+  run_category(UsageCategory::kPersonal, config.personal);
+  run_category(UsageCategory::kAdministrative, config.administrative);
+  run_category(UsageCategory::kScientific, config.scientific);
+
+  TraceSet& collected = server.Finish();
+  result.trace.records = std::move(collected.records);
+  result.trace.names = std::move(collected.names);
+  result.trace.SortByTime();
+  return result;
+}
+
+}  // namespace ntrace

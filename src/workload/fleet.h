@@ -1,0 +1,63 @@
+// The study fleet: N systems across the five usage categories, traced into
+// one collection (paper sections 2-3: 45 systems selected from 250, three
+// collection servers, 4 weeks).
+//
+// Systems are simulated sequentially on private engines whose clocks all
+// start at the same epoch; the merged trace is time-comparable across
+// systems, exactly as the study's per-system traces were. Sequential
+// simulation bounds peak memory to one machine's state.
+
+#ifndef SRC_WORKLOAD_FLEET_H_
+#define SRC_WORKLOAD_FLEET_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/collection_server.h"
+#include "src/workload/simulated_system.h"
+
+namespace ntrace {
+
+struct FleetConfig {
+  // Systems per usage category (paper total: 45). Defaults give a small,
+  // fast fleet; benches scale these up.
+  int walk_up = 2;
+  int pool = 2;
+  int personal = 2;
+  int administrative = 1;
+  int scientific = 1;
+
+  int days = 1;
+  uint64_t seed = 42;
+  double activity_scale = 1.0;
+  double content_scale = 1.0;
+  CacheConfig cache_config;
+  FsOptions fs_options;
+  TraceFilterOptions filter_options;
+  bool with_share = true;
+  bool daily_snapshots = true;
+
+  int TotalSystems() const {
+    return walk_up + pool + personal + administrative + scientific;
+  }
+};
+
+struct FleetResult {
+  TraceSet trace;  // Merged, time-sorted, with process names resolved.
+  std::vector<SystemRunStats> systems;
+
+  // Aggregates across systems.
+  CacheStats TotalCache() const;
+  uint64_t TotalFastIoReadAttempts() const;
+  uint64_t TotalFastIoReadHits() const;
+  uint64_t TotalFastIoWriteAttempts() const;
+  uint64_t TotalFastIoWriteHits() const;
+};
+
+// Runs the configured fleet and returns the merged collection.
+FleetResult RunFleet(const FleetConfig& config);
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_FLEET_H_

@@ -1,0 +1,215 @@
+#include "src/workload/fs_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntrace {
+
+FsImageBuilder::FsImageBuilder(FsImageOptions options)
+    : options_(options),
+      names_(options.seed ^ 0x1111),
+      sizes_(options.seed ^ 0x2222),
+      rng_(options.seed ^ 0x3333) {}
+
+SimTime FsImageBuilder::BackdatedTime(SimTime now) {
+  // File ages: up to ~1.2 years back (the study's average file system age),
+  // skewed toward recent.
+  const double days_back = std::pow(rng_.NextDouble(), 2.0) * 400.0;
+  const SimDuration back = SimDuration::FromSecondsF(days_back * 86400.0);
+  const SimTime t = now - back;
+  return t.ticks() < 0 ? SimTime(0) : t;
+}
+
+void FsImageBuilder::Populate(Volume& volume, const std::string& prefix, const std::string& dir,
+                              int count, FileCategory category, SimTime now,
+                              std::vector<std::string>* out, ImageCatalog* catalog) {
+  FileNode* parent = volume.CreatePath(dir, /*directory=*/true, kAttrDirectory, SimTime(0));
+  if (catalog != nullptr) {
+    catalog->directories.push_back(prefix + "\\" + dir);
+  }
+  for (int i = 0; i < count; ++i) {
+    std::string name = names_.FileName(names_.ExtensionFor(category));
+    // Regenerate on collision (names are random; collisions are rare).
+    for (int tries = 0; parent->FindChild(name) != nullptr && tries < 8; ++tries) {
+      name = names_.FileName(names_.ExtensionFor(category));
+    }
+    if (parent->FindChild(name) != nullptr) {
+      continue;
+    }
+    FileNode* node = volume.CreateNode(parent, name, /*directory=*/false, kAttrNormal,
+                                       BackdatedTime(now));
+    volume.NodeResized(node, sizes_.SampleSize(category));
+    node->disk_position = volume.AssignDiskPosition(node->size);
+    // Installers back-date creation times to the installation medium's
+    // times; sometimes this leaves creation after last-access -- part of the
+    // paper's "time attributes are unreliable" observation (2-4% of files).
+    if (rng_.Bernoulli(0.03)) {
+      node->creation_time = node->last_access_time + SimDuration::Days(2);
+    }
+    if (out != nullptr) {
+      out->push_back(prefix + "\\" + dir + "\\" + name);
+    }
+  }
+}
+
+void FsImageBuilder::BuildLocal(Volume& volume, const std::string& prefix, SimTime now,
+                                ImageCatalog* catalog) {
+  catalog->local_prefix = prefix;
+  const double s = options_.scale;
+  auto scaled = [s](int n) { return std::max(1, static_cast<int>(n * s)); };
+
+  // --- The NT system tree ---
+  Populate(volume, prefix, "winnt", scaled(60), FileCategory::kConfiguration, now,
+           &catalog->config_files, catalog);
+  Populate(volume, prefix, "winnt\\system32", scaled(1100), FileCategory::kExecutable, now,
+           &catalog->dlls, catalog);
+  Populate(volume, prefix, "winnt\\system32", scaled(250), FileCategory::kConfiguration, now,
+           &catalog->config_files, catalog);
+  Populate(volume, prefix, "winnt\\system32\\drivers", scaled(180), FileCategory::kExecutable,
+           now, &catalog->dlls, catalog);
+  Populate(volume, prefix, "winnt\\fonts", scaled(150), FileCategory::kFont, now,
+           &catalog->fonts, catalog);
+  Populate(volume, prefix, "winnt\\help", scaled(120), FileCategory::kDocument, now, nullptr,
+           catalog);
+
+  // --- Application packages (Office-like, browser, utilities) ---
+  const int packages = scaled(6);
+  for (int p = 0; p < packages; ++p) {
+    const std::string app_dir = "Program Files\\" + names_.BaseName();
+    Populate(volume, prefix, app_dir, scaled(160), FileCategory::kExecutable, now,
+             &catalog->executables, catalog);
+    Populate(volume, prefix, app_dir + "\\data", scaled(120), FileCategory::kConfiguration, now,
+             nullptr, catalog);
+    Populate(volume, prefix, app_dir + "\\help", scaled(40), FileCategory::kDocument, now,
+             nullptr, catalog);
+  }
+
+  // A handful of top-level executables the models "launch".
+  Populate(volume, prefix, "winnt", scaled(25), FileCategory::kExecutable, now,
+           &catalog->executables, catalog);
+
+  // --- The user profile ---
+  const std::string profile = "winnt\\profiles\\" + options_.user;
+  catalog->profile_dir = prefix + "\\" + profile;
+  Populate(volume, prefix, profile + "\\desktop", scaled(25), FileCategory::kDocument, now,
+           &catalog->documents, catalog);
+  Populate(volume, prefix, profile + "\\application data", scaled(80),
+           FileCategory::kConfiguration, now, &catalog->config_files, catalog);
+  Populate(volume, prefix, profile + "\\personal", scaled(60), FileCategory::kDocument, now,
+           &catalog->documents, catalog);
+
+  // Mail store in the profile.
+  {
+    const std::string mail_dir = profile + "\\application data\\mail";
+    FileNode* parent = volume.CreatePath(mail_dir, true, kAttrDirectory, SimTime(0));
+    FileNode* mbx = volume.CreateNode(parent, "inbox.mbx", false, kAttrNormal,
+                                      BackdatedTime(now));
+    volume.NodeResized(mbx, 4ull << 20);
+    catalog->mail_box = prefix + "\\" + mail_dir + "\\inbox.mbx";
+  }
+
+  // The WWW cache: the profile's churn hotspot (up to 90% of profile
+  // changes; 2,000-9,500 files, 5-45 MB total).
+  const std::string cache_dir = profile + "\\temporary internet files";
+  catalog->web_cache_dir = prefix + "\\" + cache_dir;
+  {
+    FileNode* parent = volume.CreatePath(cache_dir, true, kAttrDirectory, SimTime(0));
+    const int n = std::max(10, static_cast<int>(options_.web_cache_files * s));
+    for (int i = 0; i < n; ++i) {
+      std::string name = names_.WebCacheName();
+      if (parent->FindChild(name) != nullptr) {
+        continue;
+      }
+      FileNode* node = volume.CreateNode(parent, name, false, kAttrNormal, BackdatedTime(now));
+      volume.NodeResized(node, sizes_.SampleSize(FileCategory::kWeb));
+      catalog->web_cache_files.push_back(prefix + "\\" + cache_dir + "\\" + name);
+    }
+    catalog->directories.push_back(catalog->web_cache_dir);
+  }
+
+  // --- Temp directory ---
+  volume.CreatePath("temp", true, kAttrDirectory, SimTime(0));
+  catalog->temp_dir = prefix + "\\temp";
+
+  // --- Developer content ---
+  if (options_.developer_content) {
+    catalog->project_dir = prefix + "\\dev\\project";
+    Populate(volume, prefix, "dev\\project\\src", scaled(1200), FileCategory::kDevelopment, now,
+             &catalog->sources, catalog);
+    Populate(volume, prefix, "dev\\project\\include", scaled(800), FileCategory::kDevelopment,
+             now, &catalog->headers, catalog);
+    Populate(volume, prefix, "dev\\project\\classes", scaled(120), FileCategory::kDevelopment,
+             now, &catalog->class_files, catalog);
+    // SDK-like package: large file count, shifts directory statistics.
+    const int sdk_dirs = scaled(40);
+    for (int d = 0; d < sdk_dirs; ++d) {
+      Populate(volume, prefix, "sdk\\" + names_.BaseName(), scaled(110),
+               FileCategory::kDevelopment, now, &catalog->sdk_files, catalog);
+    }
+    // Precompiled header: the 5-8 MB file behind the paper's peak loads.
+    FileNode* parent = volume.CreatePath("dev\\project", true, kAttrDirectory, SimTime(0));
+    FileNode* pch = volume.CreateNode(parent, "project.pch", false, kAttrNormal,
+                                      BackdatedTime(now));
+    volume.NodeResized(pch, 6ull << 20);
+    catalog->pch_file = prefix + "\\dev\\project\\project.pch";
+  }
+
+  // --- Scientific content ---
+  if (options_.scientific_content) {
+    FileNode* parent = volume.CreatePath("data", true, kAttrDirectory, SimTime(0));
+    catalog->directories.push_back(prefix + "\\data");
+    const int n = std::max(2, scaled(4));
+    for (int i = 0; i < n; ++i) {
+      const std::string name = names_.FileName(".dat");
+      if (parent->FindChild(name) != nullptr) {
+        continue;
+      }
+      FileNode* node = volume.CreateNode(parent, name, false, kAttrNormal, BackdatedTime(now));
+      // 100-300 MB (an order of magnitude above Sprite's large files).
+      volume.NodeResized(node,
+                         static_cast<uint64_t>(rng_.UniformInt(100, 300)) * 1024 * 1024);
+      catalog->scientific_files.push_back(prefix + "\\data\\" + name);
+    }
+  }
+
+  // Databases for the administrative systems: tens of megabytes, far
+  // beyond any file cache, so page reads miss realistically.
+  {
+    FileNode* parent = volume.CreatePath("apps\\dbase", true, kAttrDirectory, SimTime(0));
+    catalog->directories.push_back(prefix + "\\apps\\dbase");
+    const int n = std::max(2, scaled(4));
+    for (int i = 0; i < n; ++i) {
+      const std::string name = names_.FileName(".mdb");
+      if (parent->FindChild(name) != nullptr) {
+        continue;
+      }
+      FileNode* node = volume.CreateNode(parent, name, false, kAttrNormal, BackdatedTime(now));
+      volume.NodeResized(node, static_cast<uint64_t>(rng_.UniformInt(10, 60)) * 1024 * 1024);
+      catalog->database_files.push_back(prefix + "\\apps\\dbase\\" + name);
+    }
+  }
+}
+
+void FsImageBuilder::BuildShare(Volume& volume, const std::string& prefix, SimTime now,
+                                ImageCatalog* catalog) {
+  catalog->share_prefix = prefix;
+  const double s = options_.scale;
+  auto scaled = [s](int n) { return std::max(1, static_cast<int>(n * s)); };
+  // "There was no uniformity in size or content of the user shares": pick a
+  // random magnitude per user (paper: 150-27,000 files).
+  const double magnitude = std::pow(10.0, rng_.UniformReal(0.0, 1.6));  // 1x-40x.
+  auto user_scaled = [&](int n) {
+    return std::max(1, static_cast<int>(n * magnitude * s / 10.0));
+  };
+  Populate(volume, prefix, "documents", user_scaled(300), FileCategory::kDocument, now,
+           &catalog->share_documents, catalog);
+  Populate(volume, prefix, "mail", user_scaled(60), FileCategory::kMail, now, nullptr, catalog);
+  Populate(volume, prefix, "archive", user_scaled(40), FileCategory::kArchive, now, nullptr,
+           catalog);
+  Populate(volume, prefix, "projects", user_scaled(200), FileCategory::kDevelopment, now,
+           nullptr, catalog);
+  Populate(volume, prefix, "profile", scaled(120), FileCategory::kConfiguration, now, nullptr,
+           catalog);
+}
+
+}  // namespace ntrace

@@ -1,0 +1,95 @@
+// Initial file system content ("the base set of files toward which the
+// later requests are directed", paper section 3).
+//
+// Builds a Windows NT 4.0-like local volume: the \winnt tree with
+// system32/dlls and fonts, application packages under \Program Files, the
+// user profile (\winnt\profiles\<user>) with its WWW cache, optional
+// developer content (project trees, the Platform-SDK-like package), and the
+// network-share home directory. Produces an ImageCatalog the application
+// models sample from.
+
+#ifndef SRC_WORKLOAD_FS_IMAGE_H_
+#define SRC_WORKLOAD_FS_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/file_node.h"
+#include "src/workload/namegen.h"
+
+namespace ntrace {
+
+// Paths the application models draw from. All paths are absolute (with the
+// volume prefix).
+struct ImageCatalog {
+  std::string local_prefix;  // "C:".
+  std::string share_prefix;  // "\\\\server\\<user>" ("" when no share).
+
+  std::vector<std::string> executables;
+  std::vector<std::string> dlls;
+  std::vector<std::string> fonts;
+  std::vector<std::string> documents;   // Local documents.
+  std::vector<std::string> sources;     // .c/.cpp files.
+  std::vector<std::string> headers;     // .h files.
+  std::vector<std::string> class_files; // Java .class files.
+  std::vector<std::string> config_files;
+  std::vector<std::string> database_files;
+  std::vector<std::string> scientific_files;  // Large data files.
+  std::vector<std::string> web_cache_files;
+  std::vector<std::string> sdk_files;  // Large cold developer-package pool.
+  std::vector<std::string> share_documents;  // Documents on the share.
+  std::vector<std::string> directories;      // Browsable directories.
+
+  std::string profile_dir;    // "C:\\winnt\\profiles\\<user>".
+  std::string web_cache_dir;  // profile + "\\Temporary Internet Files".
+  std::string temp_dir;       // "C:\\temp".
+  std::string mail_box;       // Profile mail file.
+  std::string pch_file;       // Precompiled header (dev systems).
+  std::string project_dir;    // Dev project root.
+};
+
+struct FsImageOptions {
+  std::string user = "user";
+  uint64_t seed = 1;
+  // Approximate scaling of content counts; 1.0 produces roughly the paper's
+  // 24k-45k local files. Tests use much smaller factors.
+  double scale = 1.0;
+  bool developer_content = false;  // Project tree + PCH + SDK-like package.
+  bool scientific_content = false;  // 100-300 MB data files.
+  int web_cache_files = 3000;       // Paper: 2,000-9,500.
+};
+
+class FsImageBuilder {
+ public:
+  explicit FsImageBuilder(FsImageOptions options);
+
+  // Populates `volume` (must be empty) with the local image; catalog paths
+  // use `prefix`. Node timestamps are back-dated over `history` before
+  // `now` (file systems in the study were 2 months - 3 years old).
+  void BuildLocal(Volume& volume, const std::string& prefix, SimTime now,
+                  ImageCatalog* catalog);
+
+  // Populates the user's network-share home directory.
+  void BuildShare(Volume& volume, const std::string& prefix, SimTime now,
+                  ImageCatalog* catalog);
+
+ private:
+  // Creates `count` files of `category` under `dir`, recording paths in
+  // `out` (when non-null). Sizes from the size model; times back-dated.
+  void Populate(Volume& volume, const std::string& prefix, const std::string& dir, int count,
+                FileCategory category, SimTime now, std::vector<std::string>* out,
+                ImageCatalog* catalog);
+
+  SimTime BackdatedTime(SimTime now);
+
+  FsImageOptions options_;
+  NameGenerator names_;
+  SizeModel sizes_;
+  Rng rng_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_FS_IMAGE_H_

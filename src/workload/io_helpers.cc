@@ -1,0 +1,93 @@
+#include "src/workload/io_helpers.h"
+
+#include <algorithm>
+
+#include "src/stats/distributions.h"
+
+namespace ntrace {
+namespace {
+
+// Heavy-tailed inter-operation processing time; xm tuned so ~80% of gaps
+// fall under the paper's 90 us (reads) / 30 us (writes) marks.
+void Pause(Win32Api& win32, Rng* pacing, double xm_us) {
+  if (pacing == nullptr) {
+    return;
+  }
+  const double us = std::min(ParetoDistribution(xm_us, 1.2).Sample(*pacing), 50000.0);
+  win32.io().engine().AdvanceBy(SimDuration::FromMicrosF(us));
+}
+
+}  // namespace
+
+uint64_t ReadToEnd(Win32Api& win32, FileObject& file, uint32_t buffer, Rng* pacing) {
+  uint64_t total = 0;
+  for (;;) {
+    uint64_t got = 0;
+    if (!win32.ReadFile(file, buffer, &got) || got == 0) {
+      break;
+    }
+    total += got;
+    Pause(win32, pacing, 18.0);
+    if (got < buffer) {
+      break;
+    }
+  }
+  return total;
+}
+
+uint64_t WriteAmount(Win32Api& win32, FileObject& file, uint64_t total, uint32_t buffer,
+                     Rng* pacing) {
+  uint64_t written = 0;
+  while (written < total) {
+    const uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(buffer, total - written));
+    uint64_t put = 0;
+    if (!win32.WriteFile(file, chunk, &put)) {
+      break;
+    }
+    written += put;
+    Pause(win32, pacing, 7.0);
+  }
+  return written;
+}
+
+void ProcessingPause(Win32Api& win32, Rng& rng, double xm_ms) {
+  const double ms = std::min(ParetoDistribution(xm_ms, 1.3).Sample(rng), 30000.0);
+  win32.io().engine().AdvanceBy(SimDuration::FromMillisF(ms));
+}
+
+uint32_t StdioRequestSize(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.34) {
+    return 4096;
+  }
+  if (u < 0.59) {
+    return 512;
+  }
+  if (u < 0.72) {  // Very small reads (single fields).
+    return static_cast<uint32_t>(rng.UniformInt(2, 8));
+  }
+  if (u < 0.90) {  // Medium.
+    return static_cast<uint32_t>(rng.UniformInt(1, 16)) * 1024;
+  }
+  // Very large: Pareto tail from 48 KB, capped at 4 MB (section 7: request
+  // sizes themselves are heavy-tailed).
+  const double v = BoundedParetoDistribution(48.0 * 1024, 4.0 * 1024 * 1024, 1.2).Sample(rng);
+  return static_cast<uint32_t>(v);
+}
+
+uint32_t WriteRequestSize(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.45) {  // Small structures, diverse sizes below 1 KB.
+    return static_cast<uint32_t>(rng.UniformInt(4, 1024));
+  }
+  if (u < 0.70) {
+    return 4096;
+  }
+  if (u < 0.90) {
+    return static_cast<uint32_t>(rng.UniformInt(2, 16)) * 1024;
+  }
+  const double v = BoundedParetoDistribution(48.0 * 1024, 4.0 * 1024 * 1024, 1.2).Sample(rng);
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace ntrace

@@ -1,0 +1,40 @@
+// Small I/O idioms shared by the application models.
+
+#ifndef SRC_WORKLOAD_IO_HELPERS_H_
+#define SRC_WORKLOAD_IO_HELPERS_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/win32/win32_api.h"
+
+namespace ntrace {
+
+// Reads from the current offset to end of file in `buffer`-sized requests.
+// Returns bytes read. With `pacing`, a heavy-tailed processing pause
+// follows each read (the paper's section 8.2: 80% of follow-up reads arrive
+// within 90 us, with a long tail -- applications compute between reads).
+uint64_t ReadToEnd(Win32Api& win32, FileObject& file, uint32_t buffer, Rng* pacing = nullptr);
+
+// Writes `total` bytes from the current offset in `buffer`-sized requests.
+// Write pacing is tighter than read pacing (writes are pre-batched; 80%
+// within 30 us).
+uint64_t WriteAmount(Win32Api& win32, FileObject& file, uint64_t total, uint32_t buffer,
+                     Rng* pacing = nullptr);
+
+// A heavy-tailed application processing pause (parsing, rendering) taken
+// while a file is still open -- the reason data sessions span milliseconds
+// (figure 5) even when the transfers themselves are batched.
+void ProcessingPause(Win32Api& win32, Rng& rng, double xm_ms = 1.0);
+
+// A request size drawn from the section 8.2 mix: 512 and 4096 dominate
+// (59%), with very small (2-8 byte) and very large (>= 48 KB) tails.
+uint32_t StdioRequestSize(Rng& rng);
+
+// A write size: more diverse in the small range ("probably reflecting the
+// writing of single data-structures", section 8.2).
+uint32_t WriteRequestSize(Rng& rng);
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_IO_HELPERS_H_

@@ -1,0 +1,45 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+JavaToolModel::JavaToolModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "java.exe", /*takes_user_input=*/false, config, seed) {}
+
+void JavaToolModel::RunBurst() {
+  // "Some of the Microsoft Java Tools read files in 2 and 4 byte sequences,
+  // often resulting in thousands of reads for a single class file"
+  // (section 10).
+  const int files = 1;
+  for (int f = 0; f < files; ++f) {
+    const std::string path = PickFrom(ctx_.catalog->class_files);
+    if (path.empty()) {
+      return;
+    }
+    FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData,
+                                            Win32Disposition::kOpenExisting, 0, pid_);
+    if (fo == nullptr) {
+      continue;
+    }
+    FileStandardInfo info;
+    ctx_.io->QueryStandardInfo(*fo, &info);
+    // Bounded parse: up to 12 KB of constant-pool reading in 2/4-byte
+    // requests (3k-6k reads for a large class file).
+    const uint64_t parse_bytes = std::min<uint64_t>(info.end_of_file, 3 * 1024);
+    uint64_t consumed = 0;
+    while (consumed < parse_bytes) {
+      const uint32_t step = rng_.Bernoulli(0.5) ? 2 : 4;
+      uint64_t got = 0;
+      if (!ctx_.win32->ReadFile(*fo, step, &got) || got == 0) {
+        break;
+      }
+      consumed += got;
+    }
+    ProcessingPause(*ctx_.win32, rng_, 1.5);  // Class verification.
+    ctx_.win32->CloseHandle(*fo);
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,73 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+MailModel::MailModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "mailer.exe", /*takes_user_input=*/true, config, seed) {}
+
+void MailModel::RunBurst() {
+  const std::string& mbx = ctx_.catalog->mail_box;
+  if (mbx.empty()) {
+    return;
+  }
+  // Inbox poll: attribute checks on the mailbox and its index.
+  const auto attrs = ctx_.win32->GetFileAttributes(mbx, pid_);
+  if (!attrs.has_value()) {
+    return;
+  }
+  ctx_.win32->GetFileAttributes(mbx.substr(0, mbx.size() - 4) + ".idx", pid_);
+  if (rng_.Bernoulli(0.4)) {
+    return;  // Poll-only burst: nothing new.
+  }
+
+  if (rng_.Bernoulli(0.5)) {
+    // New mail arrives: append to the mailbox. "A non-Microsoft mailer uses
+    // a single 4 Mbyte buffer to write to its files" (section 10): the
+    // append is one very large write regardless of message size.
+    FileObject* fo = ctx_.win32->CreateFile(mbx, kAccessReadData | kAccessWriteData,
+                                            Win32Disposition::kOpenExisting, 0, pid_);
+    if (fo == nullptr) {
+      return;
+    }
+    FileStandardInfo info;
+    ctx_.io->QueryStandardInfo(*fo, &info);
+    ctx_.win32->SetFilePointer(*fo, info.end_of_file);
+    const uint32_t message = rng_.Bernoulli(0.1)
+                                 ? (4u << 20)  // The 4 MB buffer flush.
+                                 : static_cast<uint32_t>(rng_.UniformInt(2, 64)) * 1024;
+    ctx_.win32->WriteFile(*fo, message, nullptr);
+    ctx_.win32->CloseHandle(*fo);
+
+    // Index update next to the mailbox.
+    const std::string idx = mbx.substr(0, mbx.size() - 4) + ".idx";
+    FileObject* ix = ctx_.win32->CreateFile(idx, kAccessWriteData,
+                                            Win32Disposition::kOpenAlways, 0, pid_);
+    if (ix != nullptr) {
+      ctx_.win32->WriteFile(*ix, WriteRequestSize(rng_), nullptr);
+      ctx_.win32->CloseHandle(*ix);
+    }
+  } else {
+    // Read a few messages: random seeks into the mailbox.
+    FileObject* fo = ctx_.win32->CreateFile(mbx, kAccessReadData,
+                                            Win32Disposition::kOpenExisting, 0, pid_);
+    if (fo == nullptr) {
+      return;
+    }
+    FileStandardInfo info;
+    ctx_.io->QueryStandardInfo(*fo, &info);
+    const int messages = static_cast<int>(rng_.UniformInt(2, 9));
+    for (int m = 0; m < messages && info.end_of_file > 4096; ++m) {
+      const uint64_t offset = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(info.end_of_file - 4096)));
+      ctx_.win32->SetFilePointer(*fo, offset);
+      ctx_.win32->ReadFile(*fo, static_cast<uint32_t>(rng_.UniformInt(4, 16)) * 1024, nullptr);
+      ProcessingPause(*ctx_.win32, rng_, 0.5);  // Display the message.
+    }
+    ctx_.win32->CloseHandle(*fo);
+  }
+}
+
+}  // namespace ntrace

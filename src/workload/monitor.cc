@@ -1,0 +1,39 @@
+#include "src/workload/apps.h"
+
+namespace ntrace {
+
+MonitorModel::MonitorModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "shell32.exe", /*takes_user_input=*/false, config, seed) {}
+
+void MonitorModel::RunBurst() {
+  // Name-validation volume probe (section 8.3).
+  ctx_.io->FsctlVolume(ctx_.catalog->local_prefix, FsctlCode::kIsVolumeMounted, pid_);
+  // Attribute polls on desktop/config items; frequently probing names that
+  // no longer exist (part of the 52% name-not-found error share).
+  // Compression-state probe (fails on this volume; part of the 8% of
+  // control operations that fail, section 8.4).
+  if (rng_.Bernoulli(0.6)) {
+    const std::string path = PickFrom(ctx_.catalog->config_files);
+    if (!path.empty()) {
+      NtStatus status;
+      FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadAttributes,
+                                              Win32Disposition::kOpenExisting, 0, pid_,
+                                              &status);
+      if (fo != nullptr) {
+        ctx_.io->Fsctl(*fo, FsctlCode::kSetCompression);
+        ctx_.win32->CloseHandle(*fo);
+      }
+    }
+  }
+  if (rng_.Bernoulli(0.6)) {
+    const std::string path = rng_.Bernoulli(0.12)
+                                 ? ctx_.catalog->profile_dir + "\\desktop\\missing" +
+                                       std::to_string(rng_.UniformInt(0, 99)) + ".lnk"
+                                 : PickFrom(ctx_.catalog->config_files);
+    if (!path.empty()) {
+      ctx_.win32->GetFileAttributes(path, pid_);
+    }
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,128 @@
+#include "src/workload/namegen.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace ntrace {
+namespace {
+
+constexpr std::string_view kConsonants = "bcdfghklmnprstvw";
+constexpr std::string_view kVowels = "aeiou";
+
+const std::array<const char*, 8> kExecutableExts = {".exe", ".dll", ".sys", ".ocx",
+                                                    ".drv", ".cpl", ".scr", ".com"};
+const std::array<const char*, 3> kFontExts = {".ttf", ".fon", ".fot"};
+const std::array<const char*, 10> kDevExts = {".c",   ".cpp", ".h",   ".obj", ".lib",
+                                              ".pdb", ".res", ".rc",  ".mak", ".class"};
+const std::array<const char*, 6> kDocExts = {".doc", ".xls", ".ppt", ".txt", ".rtf", ".hlp"};
+const std::array<const char*, 4> kMailExts = {".mbx", ".idx", ".pst", ".snm"};
+const std::array<const char*, 6> kWebExts = {".htm", ".gif", ".jpg", ".html", ".css", ".js"};
+const std::array<const char*, 4> kArchiveExts = {".zip", ".cab", ".msi", ".gz"};
+const std::array<const char*, 4> kMultimediaExts = {".wav", ".avi", ".bmp", ".ico"};
+const std::array<const char*, 3> kDatabaseExts = {".mdb", ".db", ".ldb"};
+const std::array<const char*, 4> kConfigExts = {".ini", ".inf", ".dat", ".cfg"};
+const std::array<const char*, 1> kLogExts = {".log"};
+const std::array<const char*, 2> kTempExts = {".tmp", ".bak"};
+const std::array<const char*, 3> kOtherExts = {".bin", ".xyz", ""};
+
+template <size_t N>
+const char* Pick(Rng& rng, const std::array<const char*, N>& arr) {
+  return arr[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(N) - 1))];
+}
+
+}  // namespace
+
+NameGenerator::NameGenerator(uint64_t seed) : rng_(seed) {}
+
+std::string NameGenerator::BaseName() {
+  const int syllables = static_cast<int>(rng_.UniformInt(1, 3));
+  std::string name;
+  for (int i = 0; i < syllables; ++i) {
+    name += kConsonants[static_cast<size_t>(rng_.UniformInt(0, kConsonants.size() - 1))];
+    name += kVowels[static_cast<size_t>(rng_.UniformInt(0, kVowels.size() - 1))];
+    name += kConsonants[static_cast<size_t>(rng_.UniformInt(0, kConsonants.size() - 1))];
+  }
+  if (rng_.Bernoulli(0.4)) {
+    name += static_cast<char>('0' + rng_.UniformInt(0, 9));
+  }
+  return name;
+}
+
+std::string NameGenerator::FileName(std::string_view extension) {
+  return BaseName() + std::string(extension);
+}
+
+std::string NameGenerator::ExtensionFor(FileCategory category) {
+  switch (category) {
+    case FileCategory::kExecutable:
+      return Pick(rng_, kExecutableExts);
+    case FileCategory::kFont:
+      return Pick(rng_, kFontExts);
+    case FileCategory::kDevelopment:
+      return Pick(rng_, kDevExts);
+    case FileCategory::kDocument:
+      return Pick(rng_, kDocExts);
+    case FileCategory::kMail:
+      return Pick(rng_, kMailExts);
+    case FileCategory::kWeb:
+      return Pick(rng_, kWebExts);
+    case FileCategory::kArchive:
+      return Pick(rng_, kArchiveExts);
+    case FileCategory::kMultimedia:
+      return Pick(rng_, kMultimediaExts);
+    case FileCategory::kDatabase:
+      return Pick(rng_, kDatabaseExts);
+    case FileCategory::kConfiguration:
+      return Pick(rng_, kConfigExts);
+    case FileCategory::kLog:
+      return Pick(rng_, kLogExts);
+    case FileCategory::kTemporary:
+      return Pick(rng_, kTempExts);
+    case FileCategory::kOther:
+      return Pick(rng_, kOtherExts);
+  }
+  return "";
+}
+
+std::string NameGenerator::WebCacheName() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llX",
+                static_cast<unsigned long long>(rng_.NextU64() & 0xFFFFFFFF));
+  static const std::array<const char*, 5> kCacheExts = {".gif", ".jpg", ".htm", ".js", ".css"};
+  return std::string(buf) + Pick(rng_, kCacheExts);
+}
+
+SizeModel::SizeModel(uint64_t seed) : rng_(seed) {
+  auto set = [this](FileCategory c, double body_median, double body_sigma, double tail_xm,
+                    double tail_cap, double tail_alpha, double tail_p) {
+    CategoryModel& m = models_[static_cast<size_t>(c)];
+    m.body = std::make_unique<LogNormalDistribution>(std::log(body_median), body_sigma);
+    m.tail = std::make_unique<BoundedParetoDistribution>(tail_xm, tail_cap, tail_alpha);
+    m.tail_probability = tail_p;
+  };
+  // Category, body median (bytes), sigma, tail xm, tail cap, alpha, P(tail).
+  // Executables/dlls/fonts dominate the large-file population (section 5).
+  set(FileCategory::kExecutable, 48.0 * 1024, 1.4, 256.0 * 1024, 24e6, 1.1, 0.25);
+  set(FileCategory::kFont, 64.0 * 1024, 0.8, 256.0 * 1024, 8e6, 1.4, 0.15);
+  set(FileCategory::kDevelopment, 6.0 * 1024, 1.5, 64.0 * 1024, 30e6, 1.2, 0.08);
+  set(FileCategory::kDocument, 18.0 * 1024, 1.2, 128.0 * 1024, 12e6, 1.3, 0.07);
+  set(FileCategory::kMail, 200.0 * 1024, 1.6, 2e6, 80e6, 1.1, 0.15);
+  set(FileCategory::kWeb, 4.0 * 1024, 1.3, 24.0 * 1024, 2e6, 1.4, 0.06);
+  set(FileCategory::kArchive, 300.0 * 1024, 1.5, 1e6, 60e6, 1.1, 0.20);
+  set(FileCategory::kMultimedia, 40.0 * 1024, 1.6, 512.0 * 1024, 40e6, 1.2, 0.10);
+  set(FileCategory::kDatabase, 256.0 * 1024, 1.4, 1e6, 50e6, 1.2, 0.15);
+  set(FileCategory::kConfiguration, 2.0 * 1024, 1.2, 16.0 * 1024, 1e6, 1.6, 0.05);
+  set(FileCategory::kLog, 12.0 * 1024, 1.6, 128.0 * 1024, 20e6, 1.2, 0.10);
+  set(FileCategory::kTemporary, 3.0 * 1024, 1.6, 32.0 * 1024, 8e6, 1.3, 0.06);
+  set(FileCategory::kOther, 4.0 * 1024, 1.5, 32.0 * 1024, 10e6, 1.3, 0.06);
+}
+
+uint64_t SizeModel::SampleSize(FileCategory category) {
+  CategoryModel& m = models_[static_cast<size_t>(category)];
+  const double v =
+      rng_.Bernoulli(m.tail_probability) ? m.tail->Sample(rng_) : m.body->Sample(rng_);
+  return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+}  // namespace ntrace

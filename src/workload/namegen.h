@@ -1,0 +1,67 @@
+// File name and size generation for synthetic file system content.
+//
+// Section 5 of the paper: local file systems hold 24,000-45,000 files whose
+// size distribution is dominated by executables, dynamic loadable libraries
+// and fonts; the WWW cache in the user profile holds 2,000-9,500 small
+// files; developer packages (e.g. the Platform SDK: 14,000 files in 1,300
+// directories) shift type counts. Sizes are heavy-tailed: lognormal body
+// with a bounded-Pareto tail, parameterized per category.
+
+#ifndef SRC_WORKLOAD_NAMEGEN_H_
+#define SRC_WORKLOAD_NAMEGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/stats/distributions.h"
+#include "src/tracedb/dimensions.h"
+
+namespace ntrace {
+
+class NameGenerator {
+ public:
+  explicit NameGenerator(uint64_t seed);
+
+  // A random 3-10 character base name (lowercase, letters then digits).
+  std::string BaseName();
+
+  // A name with the given extension ("report7.doc").
+  std::string FileName(std::string_view extension);
+
+  // A random extension for the category.
+  std::string ExtensionFor(FileCategory category);
+
+  // WWW-cache entry name ("A1B2C3D4.gif" style).
+  std::string WebCacheName();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+// Per-category file size model: lognormal body + bounded-Pareto tail with
+// the paper-consistent property that executables/dlls/fonts dominate the
+// large-file population.
+class SizeModel {
+ public:
+  explicit SizeModel(uint64_t seed);
+
+  uint64_t SampleSize(FileCategory category);
+
+ private:
+  Rng rng_;
+  // Body and tail per category, weight = probability of drawing the tail.
+  struct CategoryModel {
+    std::unique_ptr<Distribution> body;
+    std::unique_ptr<Distribution> tail;
+    double tail_probability = 0.05;
+  };
+  CategoryModel models_[kNumFileCategories];
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_WORKLOAD_NAMEGEN_H_

@@ -1,0 +1,65 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+NotepadModel::NotepadModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "notepad.exe", /*takes_user_input=*/true, config, seed) {}
+
+void NotepadModel::RunBurst() {
+  const std::string path = PickFrom(ctx_.catalog->documents);
+  if (path.empty()) {
+    return;
+  }
+  // Open and read the document (stdio-buffered).
+  FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData,
+                                          Win32Disposition::kOpenExisting, 0, pid_);
+  if (fo == nullptr) {
+    return;
+  }
+  ReadToEnd(*ctx_.win32, *fo, 4096, &rng_);
+  ProcessingPause(*ctx_.win32, rng_, 1.0);
+  ctx_.win32->CloseHandle(*fo);
+
+  // The user types for a while, then saves.
+  ctx_.engine->AdvanceBy(SimDuration::FromSecondsF(rng_.UniformReal(0.5, 8.0)));
+  const uint32_t new_size = static_cast<uint32_t>(rng_.UniformInt(64, 32 * 1024));
+  SaveDance(path, new_size);
+}
+
+void NotepadModel::SaveDance(const std::string& path, uint32_t size) {
+  // "Saving this to a file will trigger 26 system calls, including 3 failed
+  // open attempts, 1 file overwrite and 4 additional file open and close
+  // sequences" (section 1). The runtime probes related names first:
+  NtStatus status;
+  ctx_.win32->CreateFile(path + ".sav", kAccessReadData, Win32Disposition::kOpenExisting, 0,
+                         pid_, &status);
+  ctx_.win32->CreateFile(ctx_.catalog->profile_dir + "\\notepad.ini", kAccessReadData,
+                         Win32Disposition::kOpenExisting, 0, pid_, &status);
+  ctx_.win32->CreateFile(path + ".bak", kAccessReadData, Win32Disposition::kOpenExisting, 0,
+                         pid_, &status);
+
+  // The overwrite: truncate-open the target and write the buffer.
+  FileObject* out = ctx_.win32->CreateFile(path, kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+  if (out != nullptr) {
+    WriteAmount(*ctx_.win32, *out, size, 4096, &rng_);
+    ctx_.win32->CloseHandle(*out);
+  }
+
+  // Four additional open/close sequences (shell refresh, attribute checks,
+  // icon update, recent-documents touch).
+  ctx_.win32->GetFileAttributes(path, pid_);
+  ctx_.win32->GetFileAttributes(path, pid_);
+  FileObject* check = ctx_.win32->CreateFile(path, kAccessReadData,
+                                             Win32Disposition::kOpenExisting, 0, pid_);
+  if (check != nullptr) {
+    ctx_.win32->ReadFile(*check, 512, nullptr);
+    ctx_.win32->CloseHandle(*check);
+  }
+  ctx_.win32->GetFileSize(path, pid_);
+}
+
+}  // namespace ntrace

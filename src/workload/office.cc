@@ -1,0 +1,112 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+OfficeModel::OfficeModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "winword.exe", /*takes_user_input=*/true, config, seed) {}
+
+void OfficeModel::OpenDocument(const std::string& path) {
+  FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData,
+                                          Win32Disposition::kOpenExisting, 0, pid_);
+  if (fo == nullptr) {
+    return;
+  }
+  FileStandardInfo info;
+  ctx_.io->QueryStandardInfo(*fo, &info);
+  if (info.end_of_file > 16 * 1024 && rng_.Bernoulli(0.45)) {
+    // Outline/jump navigation through a large document: random reads (the
+    // table-3 shift toward random access, strongest for large files).
+    const int jumps = static_cast<int>(rng_.UniformInt(3, 10));
+    for (int j = 0; j < jumps; ++j) {
+      const uint64_t offset = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(info.end_of_file - 4096)));
+      ctx_.win32->SetFilePointer(*fo, offset);
+      ctx_.win32->ReadFile(*fo, StdioRequestSize(rng_), nullptr);
+      ProcessingPause(*ctx_.win32, rng_, 1.0);
+    }
+    ctx_.win32->CloseHandle(*fo);
+    open_document_ = path;
+    document_size_ = info.end_of_file;
+    return;
+  }
+  ReadToEnd(*ctx_.win32, *fo, 4096, &rng_);
+  ProcessingPause(*ctx_.win32, rng_, 4.0);  // Parse/layout.
+  ctx_.win32->CloseHandle(*fo);
+  open_document_ = path;
+  document_size_ = std::max<uint64_t>(info.end_of_file, 4096);
+}
+
+void OfficeModel::SaveDocument(const std::string& path, uint64_t size) {
+  // Word-style safe save: write a temp file, then either replace the
+  // original via delete+rename (explicit-delete lifetime class) or
+  // truncate-save in place (overwrite lifetime class). The mix drives the
+  // section 6.3 deletion-method split.
+  if (rng_.Bernoulli(0.62)) {
+    const std::string temp = ctx_.catalog->temp_dir + "\\~wrd" +
+                             std::to_string(rng_.UniformInt(1000, 9999)) + ".tmp";
+    FileObject* t = ctx_.win32->CreateFile(temp, kAccessReadData | kAccessWriteData,
+                                           Win32Disposition::kCreateAlways, 0, pid_);
+    if (t == nullptr) {
+      return;
+    }
+    WriteAmount(*ctx_.win32, *t, size, 4096, &rng_);
+    ctx_.win32->CloseHandle(*t);
+    // An optimistic rename collides with the existing target (a failing
+    // SetInformation control operation, section 8.4); the app then deletes
+    // the original and retries. When the rename succeeds outright (target
+    // missing) the save is already complete.
+    const bool optimistic = rng_.Bernoulli(0.3);
+    if (!optimistic || !ctx_.win32->MoveFile(temp, path, pid_)) {
+      ctx_.win32->DeleteFile(path, pid_);
+      ctx_.win32->MoveFile(temp, path, pid_);
+    }
+  } else {
+    FileObject* out = ctx_.win32->CreateFile(path, kAccessWriteData,
+                                             Win32Disposition::kCreateAlways, 0, pid_);
+    if (out == nullptr) {
+      return;
+    }
+    WriteAmount(*ctx_.win32, *out, size, WriteRequestSize(rng_), &rng_);
+    ctx_.win32->CloseHandle(*out);
+  }
+  // Scratch autosave file, deleted moments later (temporary-class lifetime;
+  // a candidate for the temporary attribute the paper finds underused).
+  const std::string autosave = ctx_.catalog->temp_dir + "\\~$auto" +
+                               std::to_string(rng_.UniformInt(100, 999)) + ".tmp";
+  const bool use_temp_attribute = rng_.Bernoulli(0.01);  // Section 6.3: ~1%.
+  FileObject* a = ctx_.win32->CreateFile(
+      autosave, kAccessWriteData, Win32Disposition::kCreateAlways,
+      use_temp_attribute ? (kW32AttrTemporary | kW32FlagDeleteOnClose) : 0u, pid_);
+  if (a != nullptr) {
+    WriteAmount(*ctx_.win32, *a, std::min<uint64_t>(size, 64 * 1024), 4096, &rng_);
+    ctx_.win32->CloseHandle(*a);
+    if (!use_temp_attribute) {
+      ctx_.win32->DeleteFile(autosave, pid_);
+    }
+  }
+}
+
+void OfficeModel::RunBurst() {
+  if (open_document_.empty() || rng_.Bernoulli(0.3)) {
+    const std::string path = rng_.Bernoulli(0.3) && !ctx_.catalog->share_documents.empty()
+                                 ? PickFrom(ctx_.catalog->share_documents)
+                                 : PickFrom(ctx_.catalog->documents);
+    if (path.empty()) {
+      return;
+    }
+    OpenDocument(path);
+    return;
+  }
+  // Editing session: periodic autosaves/saves of the open document, with
+  // modest growth.
+  document_size_ = static_cast<uint64_t>(document_size_ * rng_.UniformReal(1.0, 1.15));
+  SaveDocument(open_document_, document_size_);
+  if (rng_.Bernoulli(0.15)) {
+    open_document_.clear();  // Close the document.
+  }
+}
+
+}  // namespace ntrace

@@ -1,0 +1,78 @@
+#include <algorithm>
+
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+ScientificModel::ScientificModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "simulate.exe", /*takes_user_input=*/false, config, seed) {}
+
+void ScientificModel::RunBurst() {
+  const std::string path = PickFrom(ctx_.catalog->scientific_files);
+  if (path.empty()) {
+    return;
+  }
+  // "These applications read small portions of the files at a time, and in
+  // many cases do so through the use of memory-mapped files" (section 6.1):
+  // the 100-300 MB inputs never produce Sprite-style peak loads.
+  FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData,
+                                          Win32Disposition::kOpenExisting,
+                                          kW32FlagRandomAccess, pid_);
+  if (fo == nullptr) {
+    return;
+  }
+  FileStandardInfo info;
+  ctx_.io->QueryStandardInfo(*fo, &info);
+  const uint64_t section = ctx_.vm->CreateSection(*fo, info.end_of_file, /*image=*/false);
+  const int windows = static_cast<int>(rng_.UniformInt(3, 20));
+  for (int w = 0; w < windows; ++w) {
+    const uint64_t window = static_cast<uint64_t>(rng_.UniformInt(64, 1024)) * 1024;
+    const uint64_t max_off = info.end_of_file > window ? info.end_of_file - window : 0;
+    const uint64_t offset =
+        max_off == 0 ? 0
+                     : static_cast<uint64_t>(rng_.UniformInt(0, static_cast<int64_t>(max_off)));
+    ctx_.vm->FaultRange(section, offset, window);
+    // Computation time between windows.
+    ctx_.engine->AdvanceBy(SimDuration::FromSecondsF(rng_.UniformReal(0.05, 1.5)));
+  }
+  ctx_.vm->DeleteSection(section);
+  ctx_.win32->CloseHandle(*fo);
+
+  // Post-analysis: random-access re-reads of a prior result file (the
+  // table-3 random read-only class, strongest for large files).
+  if (rng_.Bernoulli(0.5)) {
+    const std::string prior = PickFrom(ctx_.catalog->scientific_files) + ".out";
+    FileObject* in = ctx_.win32->CreateFile(prior, kAccessReadData,
+                                            Win32Disposition::kOpenExisting,
+                                            kW32FlagRandomAccess, pid_);
+    if (in != nullptr) {
+      FileStandardInfo out_info;
+      ctx_.io->QueryStandardInfo(*in, &out_info);
+      const int reads = static_cast<int>(rng_.UniformInt(5, 15));
+      for (int r = 0; r < reads && out_info.end_of_file > 65536; ++r) {
+        const uint64_t offset = static_cast<uint64_t>(rng_.UniformInt(
+            0, static_cast<int64_t>(out_info.end_of_file - 65536)));
+        ctx_.win32->SetFilePointer(*in, offset);
+        ctx_.win32->ReadFile(*in, static_cast<uint32_t>(rng_.UniformInt(16, 64)) * 1024,
+                             nullptr);
+        ProcessingPause(*ctx_.win32, rng_, 0.5);
+      }
+      ctx_.win32->CloseHandle(*in);
+    }
+  }
+  // Periodic result dump: write-only sequential output.
+  if (rng_.Bernoulli(0.4)) {
+    const std::string out_path = path + ".out";
+    FileObject* out = ctx_.win32->CreateFile(out_path, kAccessWriteData,
+                                             Win32Disposition::kCreateAlways,
+                                             kW32FlagSequentialScan, pid_);
+    if (out != nullptr) {
+      WriteAmount(*ctx_.win32, *out,
+                  static_cast<uint64_t>(rng_.UniformInt(1, 16)) * 1024 * 1024, 65536);
+      ctx_.win32->CloseHandle(*out);
+    }
+  }
+}
+
+}  // namespace ntrace

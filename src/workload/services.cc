@@ -1,0 +1,93 @@
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+ServicesModel::ServicesModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "services.exe", /*takes_user_input=*/false, config, seed) {}
+
+void ServicesModel::OnLaunched() {
+  // loadwc-style behavior: "keep a large number of files open for the
+  // duration of the complete user session, which may be days or weeks"
+  // (section 8.1).
+  const int held = static_cast<int>(rng_.UniformInt(2, 5));
+  for (int i = 0; i < held; ++i) {
+    const std::string path = PickFrom(ctx_.catalog->config_files);
+    if (path.empty()) {
+      break;
+    }
+    FileObject* fo = ctx_.win32->CreateFile(path, kAccessReadData | kAccessWriteData,
+                                            Win32Disposition::kOpenExisting, 0, pid_);
+    if (fo != nullptr) {
+      ctx_.win32->ReadFile(*fo, 512, nullptr);
+      held_.push_back(fo);
+    }
+  }
+}
+
+void ServicesModel::RunBurst() {
+  // Background bookkeeping: the activity floor that exists on any NT system
+  // (used in table 2 as the active-user threshold).
+  if (rng_.Bernoulli(0.5)) {
+    const std::string cfg = PickFrom(ctx_.catalog->config_files);
+    if (!cfg.empty()) {
+      FileObject* fo = ctx_.win32->CreateFile(cfg, kAccessReadData,
+                                              Win32Disposition::kOpenExisting, 0, pid_);
+      if (fo != nullptr) {
+        ctx_.win32->ReadFile(*fo, StdioRequestSize(rng_), nullptr);
+        ctx_.win32->CloseHandle(*fo);
+      }
+    }
+  }
+  // Event-log append on a held handle.
+  if (!held_.empty() && rng_.Bernoulli(0.6)) {
+    FileObject* fo = held_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(held_.size()) - 1))];
+    FileStandardInfo info;
+    ctx_.io->QueryStandardInfo(*fo, &info);
+    ctx_.win32->SetFilePointer(*fo, info.end_of_file);
+    ctx_.win32->WriteFile(*fo, static_cast<uint32_t>(rng_.UniformInt(64, 2048)), nullptr);
+  }
+  if (rng_.Bernoulli(0.15)) {
+    ctx_.win32->GetDiskFreeSpace(ctx_.catalog->local_prefix, pid_);
+  }
+  // WWW-cache scavenging: the cache's size limit is enforced by a
+  // background scavenger, so the deleting process usually is not the
+  // creating one (section 6.3: only 36% of deletes come from the creator).
+  constexpr size_t kCacheLimit = 300;
+  if (ctx_.catalog->web_cache_files.size() > kCacheLimit) {
+    // Oldest-first (the catalog is in creation order): LRU-style trimming,
+    // so eviction mostly hits entries that predate the current activity.
+    const size_t victims = ctx_.catalog->web_cache_files.size() - kCacheLimit;
+    for (size_t v = 0; v < victims && !ctx_.catalog->web_cache_files.empty(); ++v) {
+      ctx_.win32->DeleteFile(ctx_.catalog->web_cache_files.front(), pid_);
+      ctx_.catalog->web_cache_files.erase(ctx_.catalog->web_cache_files.begin());
+    }
+  }
+  // Rare direct-I/O maintenance pass (read caching disabled + write-through;
+  // the section-9 population dominated by the "system" process).
+  if (rng_.Bernoulli(0.01)) {
+    const std::string path = PickFrom(ctx_.catalog->config_files);
+    if (!path.empty()) {
+      FileObject* fo = ctx_.win32->CreateFile(
+          path, kAccessReadData | kAccessWriteData, Win32Disposition::kOpenExisting,
+          kW32FlagNoBuffering | kW32FlagWriteThrough, pid_);
+      if (fo != nullptr) {
+        ctx_.win32->ReadFile(*fo, 4096, nullptr);
+        ctx_.win32->SetFilePointer(*fo, 0);
+        ctx_.win32->WriteFile(*fo, 4096, nullptr);
+        ctx_.win32->CloseHandle(*fo);
+      }
+    }
+  }
+}
+
+void ServicesModel::OnSessionEnd() {
+  for (FileObject* fo : held_) {
+    ctx_.win32->CloseHandle(*fo);
+  }
+  held_.clear();
+  AppModel::OnSessionEnd();
+}
+
+}  // namespace ntrace

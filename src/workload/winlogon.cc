@@ -1,0 +1,77 @@
+#include <algorithm>
+
+#include "src/base/format.h"
+#include "src/workload/apps.h"
+#include "src/workload/io_helpers.h"
+
+namespace ntrace {
+
+WinlogonModel::WinlogonModel(SystemContext& ctx, AppModelConfig config, uint64_t seed)
+    : AppModel(ctx, "winlogon.exe", /*takes_user_input=*/false, config, seed) {}
+
+void WinlogonModel::Logon() {
+  // Profile download: "these files are downloaded to each system the user
+  // logs into from a profile server, through the winlogon process"
+  // (section 5). The process lifetime is determined by the number and size
+  // of files in the profile -- one of the paper's examples of heavy-tailed
+  // process behavior.
+  if (ctx_.catalog->share_prefix.empty()) {
+    return;
+  }
+  const std::string remote_profile = ctx_.catalog->share_prefix + "\\profile";
+  FileObject* handle = nullptr;
+  std::vector<FindData> entries;
+  if (ctx_.win32->FindFirstFile(remote_profile, "*", pid_, &handle, &entries)) {
+    while (ctx_.win32->FindNextFile(*handle, &entries)) {
+    }
+  }
+  if (handle != nullptr) {
+    ctx_.win32->FindClose(*handle);
+  }
+  const size_t limit = std::min<size_t>(entries.size(), 200);
+  for (size_t i = 0; i < limit; ++i) {
+    if (entries[i].attributes & kAttrDirectory) {
+      continue;
+    }
+    // Download only files that changed since the local copy (mod-time
+    // comparison -> attribute probe on the local file, often failing).
+    const std::string local = ctx_.catalog->profile_dir + "\\" + entries[i].name;
+    const auto local_attrs = ctx_.win32->GetFileAttributes(local, pid_);
+    if (!local_attrs.has_value() || rng_.Bernoulli(0.3)) {
+      ctx_.win32->CopyFile(remote_profile + "\\" + entries[i].name, local, pid_);
+    }
+  }
+}
+
+void WinlogonModel::OnSessionEnd() {
+  // "At the end of each session the changes to the profiles are migrated
+  // back to the central server" (section 5).
+  if (!ctx_.catalog->share_prefix.empty()) {
+    const std::string remote_profile = ctx_.catalog->share_prefix + "\\profile";
+    const int changed = static_cast<int>(rng_.UniformInt(5, 40));
+    for (int i = 0; i < changed; ++i) {
+      const std::string local = PickFrom(ctx_.catalog->documents.empty()
+                                             ? ctx_.catalog->config_files
+                                             : ctx_.catalog->documents);
+      if (local.empty()) {
+        break;
+      }
+      const std::vector<std::string> parts = SplitPath(local);
+      if (parts.empty()) {
+        continue;
+      }
+      ctx_.win32->CopyFile(local, remote_profile + "\\" + parts.back(), pid_);
+    }
+  }
+  AppModel::OnSessionEnd();
+}
+
+void WinlogonModel::RunBurst() {
+  // Between logon and logout winlogon only refreshes policy occasionally.
+  const std::string cfg = PickFrom(ctx_.catalog->config_files);
+  if (!cfg.empty()) {
+    ctx_.win32->GetFileAttributes(cfg, pid_);
+  }
+}
+
+}  // namespace ntrace

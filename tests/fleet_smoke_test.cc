@@ -1,0 +1,99 @@
+// Fleet-level integration: a small multi-category fleet produces a merged,
+// analyzable trace with the structural properties the analyzers rely on.
+
+#include <gtest/gtest.h>
+
+#include "src/tracedb/instance_table.h"
+#include "src/workload/fleet.h"
+
+namespace ntrace {
+namespace {
+
+FleetConfig SmallConfig() {
+  FleetConfig config;
+  config.walk_up = 1;
+  config.pool = 1;
+  config.personal = 1;
+  config.administrative = 1;
+  config.scientific = 1;
+  config.days = 1;
+  config.seed = 7;
+  config.activity_scale = 0.3;
+  config.content_scale = 0.05;
+  return config;
+}
+
+TEST(FleetSmoke, RunsAndProducesTrace) {
+  const FleetResult result = RunFleet(SmallConfig());
+  EXPECT_EQ(result.systems.size(), 5u);
+  EXPECT_GT(result.trace.records.size(), 1000u);
+  EXPECT_GT(result.trace.names.size(), 100u);
+  for (const SystemRunStats& s : result.systems) {
+    EXPECT_EQ(s.trace_drops, 0u) << "trace buffer overflow on system " << s.system_id;
+    EXPECT_GT(s.trace_records, 0u);
+    EXPECT_GE(s.sessions_run, 1u);
+  }
+  // All five systems contributed records.
+  EXPECT_EQ(result.trace.SystemIds().size(), 5u);
+}
+
+TEST(FleetSmoke, TraceIsTimeSortedAndInstancesBuild) {
+  const FleetResult result = RunFleet(SmallConfig());
+  for (size_t i = 1; i < result.trace.records.size(); ++i) {
+    EXPECT_LE(result.trace.records[i - 1].complete_ticks, result.trace.records[i].complete_ticks);
+  }
+  const InstanceTable table = InstanceTable::Build(result.trace);
+  EXPECT_GT(table.rows().size(), 200u);
+
+  // Structural invariants on instances.
+  size_t with_data = 0;
+  size_t control_only = 0;
+  size_t failed = 0;
+  for (const Instance& row : table.rows()) {
+    if (row.open_failed) {
+      ++failed;
+      EXPECT_EQ(row.reads() + row.writes(), 0u);
+      continue;
+    }
+    if (row.HasData()) {
+      ++with_data;
+      EXPECT_GT(row.bytes_read + row.bytes_written, 0u);
+    } else {
+      ++control_only;
+    }
+    if (row.cleanup_time != 0) {
+      EXPECT_GE(row.cleanup_time, row.open_complete);
+    }
+  }
+  EXPECT_GT(with_data, 50u);
+  EXPECT_GT(control_only, 50u);
+  EXPECT_GT(failed, 10u);  // Probes and existence checks fail (section 8.4).
+}
+
+TEST(FleetSmoke, DeterministicUnderSameSeed) {
+  const FleetResult a = RunFleet(SmallConfig());
+  const FleetResult b = RunFleet(SmallConfig());
+  ASSERT_EQ(a.trace.records.size(), b.trace.records.size());
+  for (size_t i = 0; i < a.trace.records.size(); ++i) {
+    EXPECT_EQ(a.trace.records[i].complete_ticks, b.trace.records[i].complete_ticks);
+    EXPECT_EQ(a.trace.records[i].event, b.trace.records[i].event);
+    EXPECT_EQ(a.trace.records[i].file_object, b.trace.records[i].file_object);
+  }
+}
+
+TEST(FleetSmoke, PagingTrafficPresentAndTagged) {
+  const FleetResult result = RunFleet(SmallConfig());
+  uint64_t cache_induced = 0;
+  uint64_t vm_paging = 0;
+  for (const TraceRecord& r : result.trace.records) {
+    if (!r.IsPagingIo()) {
+      continue;
+    }
+    r.IsCacheInduced() ? ++cache_induced : ++vm_paging;
+  }
+  EXPECT_GT(cache_induced, 100u);  // Cache faults, read-ahead, lazy writes.
+  EXPECT_GT(vm_paging, 100u);     // Image loading and mapped faults.
+}
+
+}  // namespace
+}  // namespace ntrace

@@ -1,0 +1,233 @@
+// End-to-end integration: one system, real file operations, verified against
+// the mechanisms the paper describes (IRP-then-FastIO, paging duplicates,
+// two-stage close, trace completeness).
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_record.h"
+#include "tests/test_util.h"
+
+namespace ntrace {
+namespace {
+
+TEST(IntegrationSmoke, CreateWriteReadCloseProducesCoherentTrace) {
+  TestSystem sys;
+  // Create the parent directory first (NT creates no intermediate paths).
+  CreateRequest mkdir;
+  mkdir.path = "C:\\temp";
+  mkdir.disposition = CreateDisposition::kOpenIf;
+  mkdir.create_options = kOptDirectoryFile;
+  mkdir.process_id = sys.pid;
+  CreateResult dir = sys.io->Create(mkdir);
+  ASSERT_EQ(dir.status, NtStatus::kSuccess);
+  sys.io->CloseHandle(*dir.file);
+
+  FileObject* fo = sys.OpenRw("C:\\temp\\data.bin");
+  ASSERT_NE(fo, nullptr);
+
+  // First write goes via IRP (initializes caching); later ones via FastIO.
+  IoResult w1 = sys.io->WriteNext(*fo, 4096);
+  EXPECT_FALSE(w1.used_fastio);
+  EXPECT_EQ(w1.status, NtStatus::kSuccess);
+  IoResult w2 = sys.io->WriteNext(*fo, 4096);
+  EXPECT_TRUE(w2.used_fastio);
+
+  IoResult r1 = sys.io->Read(*fo, 0, 4096);
+  EXPECT_EQ(r1.status, NtStatus::kSuccess);
+  EXPECT_EQ(r1.bytes, 4096u);
+  EXPECT_TRUE(r1.used_fastio);  // Pages are resident from the writes.
+
+  const uint64_t data_fo = fo->id();
+  sys.io->CloseHandle(*fo);
+  TraceSet& set = sys.FinishTrace();
+
+  // The trace must contain the create, the IRP write, a FastIO write, a
+  // FastIO read, cleanup, close, lazy-write paging I/O and the cache
+  // manager's SetEndOfFile before close (all on the data file's object; the
+  // mkdir contributes its own records).
+  int creates = 0;
+  int irp_writes = 0;
+  int fastio_writes = 0;
+  int fastio_reads = 0;
+  int cleanups = 0;
+  int closes = 0;
+  int paging_writes = 0;
+  int seteofs = 0;
+  for (const TraceRecord& r : set.records) {
+    if (r.file_object != data_fo) {
+      continue;
+    }
+    switch (r.Event()) {
+      case TraceEvent::kIrpCreate:
+        ++creates;
+        break;
+      case TraceEvent::kIrpWrite:
+        r.IsPagingIo() ? ++paging_writes : ++irp_writes;
+        break;
+      case TraceEvent::kFastIoWrite:
+        ++fastio_writes;
+        break;
+      case TraceEvent::kFastIoRead:
+        ++fastio_reads;
+        break;
+      case TraceEvent::kIrpCleanup:
+        ++cleanups;
+        break;
+      case TraceEvent::kIrpClose:
+        ++closes;
+        break;
+      case TraceEvent::kIrpSetInformation:
+        if (static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kEndOfFile) {
+          ++seteofs;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(creates, 1);
+  EXPECT_EQ(irp_writes, 1);
+  EXPECT_EQ(fastio_writes, 1);
+  EXPECT_EQ(fastio_reads, 1);
+  EXPECT_EQ(cleanups, 1);
+  EXPECT_EQ(closes, 1);
+  EXPECT_GE(paging_writes, 1);  // Lazy writer flushed the dirty pages.
+  EXPECT_EQ(seteofs, 1);        // Cache manager's SetEndOfFile at close.
+
+  // The name record maps the file object to its path.
+  const TraceRecord& first = set.records.front();
+  EXPECT_NE(set.PathOf(first.file_object), nullptr);
+}
+
+TEST(IntegrationSmoke, WriteCachedCloseIsTwoStage) {
+  TestSystem sys;
+  FileObject* fo = sys.OpenRw("C:\\out.dat");
+  ASSERT_NE(fo, nullptr);
+  sys.io->WriteNext(*fo, 8192);
+  const uint64_t fo_id = fo->id();
+  sys.io->CloseHandle(*fo);
+  TraceSet& set = sys.FinishTrace();
+
+  SimTime cleanup_at;
+  SimTime close_at;
+  for (const TraceRecord& r : set.records) {
+    if (r.file_object != fo_id) {
+      continue;
+    }
+    if (r.Event() == TraceEvent::kIrpCleanup) {
+      cleanup_at = r.CompleteTime();
+    }
+    if (r.Event() == TraceEvent::kIrpClose) {
+      close_at = r.CompleteTime();
+    }
+  }
+  // Dirty data: close waits for the lazy writer, 1-4 seconds (paper 8.1).
+  const SimDuration gap = close_at - cleanup_at;
+  EXPECT_GE(gap, SimDuration::Millis(500));
+  EXPECT_LE(gap, SimDuration::Seconds(5));
+}
+
+TEST(IntegrationSmoke, ReadOnlyCloseFollowsCleanupInMicroseconds) {
+  TestSystem sys;
+  // Seed the file via one open, then re-open read-only.
+  FileObject* writer = sys.OpenRw("C:\\readme.txt");
+  sys.io->WriteNext(*writer, 2048);
+  sys.io->CloseHandle(*writer);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(10));
+
+  CreateRequest req;
+  req.path = "C:\\readme.txt";
+  req.disposition = CreateDisposition::kOpen;
+  req.desired_access = kAccessReadData;
+  req.process_id = sys.pid;
+  CreateResult open = sys.io->Create(req);
+  ASSERT_EQ(open.status, NtStatus::kSuccess);
+  sys.io->ReadNext(*open.file, 2048);
+  const uint64_t fo_id = open.file->id();
+  sys.io->CloseHandle(*open.file);
+
+  TraceSet& set = sys.FinishTrace();
+  SimTime cleanup_at;
+  SimTime close_at;
+  for (const TraceRecord& r : set.records) {
+    if (r.file_object != fo_id) {
+      continue;
+    }
+    if (r.Event() == TraceEvent::kIrpCleanup) {
+      cleanup_at = r.CompleteTime();
+    }
+    if (r.Event() == TraceEvent::kIrpClose) {
+      close_at = r.CompleteTime();
+    }
+  }
+  const SimDuration gap = close_at - cleanup_at;
+  EXPECT_GE(gap, SimDuration::Micros(4));
+  EXPECT_LE(gap, SimDuration::Micros(100));
+}
+
+TEST(IntegrationSmoke, PagingDuplicatesAreFilterable) {
+  TestSystem sys;
+  FileObject* fo = sys.OpenRw("C:\\big.bin");
+  ASSERT_NE(fo, nullptr);
+  sys.io->WriteNext(*fo, 256 * 1024);
+  sys.io->CloseHandle(*fo);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(20));
+
+  // Cold re-read after eviction-free close: the IRP read faults pages in.
+  CreateRequest req;
+  req.path = "C:\\big.bin";
+  req.disposition = CreateDisposition::kOpen;
+  req.desired_access = kAccessReadData;
+  req.process_id = sys.pid;
+  CreateResult open = sys.io->Create(req);
+  ASSERT_EQ(open.status, NtStatus::kSuccess);
+  sys.io->ReadNext(*open.file, 65536);
+  sys.io->CloseHandle(*open.file);
+
+  TraceSet& set = sys.FinishTrace();
+  const size_t all = set.records.size();
+  const TraceSet filtered = set.WithoutCacheInducedPaging();
+  EXPECT_LT(filtered.records.size(), all);
+  for (const TraceRecord& r : filtered.records) {
+    EXPECT_FALSE(r.IsCacheInduced());
+  }
+}
+
+TEST(IntegrationSmoke, DeleteOnCloseRemovesFile) {
+  TestSystem sys;
+  FileObject* fo = sys.OpenRw("C:\\scratch.tmp", kOptDeleteOnClose);
+  ASSERT_NE(fo, nullptr);
+  sys.io->WriteNext(*fo, 100);
+  sys.io->CloseHandle(*fo);
+
+  CreateRequest req;
+  req.path = "C:\\scratch.tmp";
+  req.disposition = CreateDisposition::kOpen;
+  req.process_id = sys.pid;
+  CreateResult open = sys.io->Create(req);
+  EXPECT_EQ(open.status, NtStatus::kObjectNameNotFound);
+}
+
+TEST(IntegrationSmoke, FailedOpenIsTracedWithError) {
+  TestSystem sys;
+  CreateRequest req;
+  req.path = "C:\\does\\not\\exist.txt";
+  req.disposition = CreateDisposition::kOpen;
+  req.process_id = sys.pid;
+  CreateResult open = sys.io->Create(req);
+  EXPECT_EQ(open.status, NtStatus::kObjectPathNotFound);
+  EXPECT_EQ(open.file, nullptr);
+
+  TraceSet& set = sys.FinishTrace();
+  bool found = false;
+  for (const TraceRecord& r : set.records) {
+    if (r.Event() == TraceEvent::kIrpCreate && NtError(r.Status())) {
+      found = true;
+      EXPECT_NE(set.PathOf(r.file_object), nullptr);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ntrace

@@ -1,0 +1,211 @@
+// Unit tests: src/mm/page_store (residency, dirtiness, LRU eviction).
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/mm/page_store.h"
+
+namespace ntrace {
+namespace {
+
+int node_a;
+int node_b;
+
+TEST(PageMath, IndexAndSpan) {
+  EXPECT_EQ(PageIndex(0), 0u);
+  EXPECT_EQ(PageIndex(4095), 0u);
+  EXPECT_EQ(PageIndex(4096), 1u);
+  EXPECT_EQ(PageSpan(0, 0), 0u);
+  EXPECT_EQ(PageSpan(0, 1), 1u);
+  EXPECT_EQ(PageSpan(0, 4096), 1u);
+  EXPECT_EQ(PageSpan(0, 4097), 2u);
+  EXPECT_EQ(PageSpan(4095, 2), 2u);  // Straddles a boundary.
+  EXPECT_EQ(PageSpan(8192, 8192), 2u);
+}
+
+TEST(PageStore, InsertAndResidency) {
+  PageStore store(16);
+  EXPECT_TRUE(store.Insert(&node_a, 0, SimTime()));
+  EXPECT_FALSE(store.Insert(&node_a, 0, SimTime()));  // Already there.
+  EXPECT_TRUE(store.IsResident(&node_a, 0));
+  EXPECT_FALSE(store.IsResident(&node_a, 1));
+  EXPECT_FALSE(store.IsResident(&node_b, 0));
+  EXPECT_EQ(store.resident_pages(), 1u);
+}
+
+TEST(PageStore, DirtyLifecycle) {
+  PageStore store(16);
+  store.Insert(&node_a, 3, SimTime());
+  EXPECT_FALSE(store.IsDirty(&node_a, 3));
+  store.MarkDirty(&node_a, 3, SimTime());
+  EXPECT_TRUE(store.IsDirty(&node_a, 3));
+  EXPECT_EQ(store.dirty_pages(), 1u);
+  store.MarkClean(&node_a, 3);
+  EXPECT_FALSE(store.IsDirty(&node_a, 3));
+  EXPECT_EQ(store.dirty_pages(), 0u);
+  EXPECT_TRUE(store.IsResident(&node_a, 3));  // Clean, still cached.
+}
+
+TEST(PageStore, MarkDirtyCreatesEntry) {
+  PageStore store(16);
+  store.MarkDirty(&node_a, 7, SimTime());
+  EXPECT_TRUE(store.IsResident(&node_a, 7));
+  EXPECT_TRUE(store.IsDirty(&node_a, 7));
+}
+
+TEST(PageStore, DirtyPagesSortedPerNode) {
+  PageStore store(64);
+  for (uint64_t p : {9u, 2u, 5u}) {
+    store.MarkDirty(&node_a, p, SimTime());
+  }
+  store.MarkDirty(&node_b, 1, SimTime());
+  const std::vector<uint64_t> dirty = store.DirtyPagesOf(&node_a);
+  EXPECT_EQ(dirty, (std::vector<uint64_t>{2, 5, 9}));
+  EXPECT_EQ(store.DirtyCountOf(&node_a), 3u);
+  EXPECT_EQ(store.DirtyCountOf(&node_b), 1u);
+}
+
+TEST(PageStore, LruEvictsColdestCleanPage) {
+  PageStore store(3);
+  store.Insert(&node_a, 0, SimTime());
+  store.Insert(&node_a, 1, SimTime());
+  store.Insert(&node_a, 2, SimTime());
+  store.Touch(&node_a, 0);  // Page 1 becomes the coldest.
+  store.Insert(&node_a, 3, SimTime());
+  EXPECT_EQ(store.resident_pages(), 3u);
+  EXPECT_FALSE(store.IsResident(&node_a, 1));
+  EXPECT_TRUE(store.IsResident(&node_a, 0));
+  EXPECT_TRUE(store.IsResident(&node_a, 3));
+  EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(PageStore, EvictionSkipsDirtyPages) {
+  PageStore store(3);
+  store.MarkDirty(&node_a, 0, SimTime());
+  store.MarkDirty(&node_a, 1, SimTime());
+  store.Insert(&node_a, 2, SimTime());
+  store.Insert(&node_a, 3, SimTime());  // Must evict page 2 (only clean one).
+  EXPECT_TRUE(store.IsResident(&node_a, 0));
+  EXPECT_TRUE(store.IsResident(&node_a, 1));
+  EXPECT_FALSE(store.IsResident(&node_a, 2));
+  EXPECT_TRUE(store.IsResident(&node_a, 3));
+}
+
+TEST(PageStore, AllDirtyOvercommitsInsteadOfCrashing) {
+  PageStore store(2);
+  store.MarkDirty(&node_a, 0, SimTime());
+  store.MarkDirty(&node_a, 1, SimTime());
+  store.MarkDirty(&node_a, 2, SimTime());
+  EXPECT_EQ(store.resident_pages(), 3u);  // Over budget, all retained.
+  EXPECT_EQ(store.dirty_pages(), 3u);
+}
+
+TEST(PageStore, NewestInsertionNeverEvictedImmediately) {
+  PageStore store(2);
+  store.MarkDirty(&node_a, 0, SimTime());
+  store.MarkDirty(&node_a, 1, SimTime());
+  // Everything dirty: the fresh clean insert must survive this call.
+  store.Insert(&node_a, 2, SimTime());
+  EXPECT_TRUE(store.IsResident(&node_a, 2));
+}
+
+TEST(PageStore, PinnedPagesSurviveEviction) {
+  PageStore store(2);
+  store.Insert(&node_a, 0, SimTime());
+  store.Pin(&node_a, 0);
+  store.Insert(&node_a, 1, SimTime());
+  store.Insert(&node_a, 2, SimTime());
+  EXPECT_TRUE(store.IsResident(&node_a, 0));
+  store.Unpin(&node_a, 0);
+  store.Insert(&node_a, 3, SimTime());
+  store.Insert(&node_a, 4, SimTime());
+  EXPECT_FALSE(store.IsResident(&node_a, 0));
+}
+
+TEST(PageStore, PurgeNodeDropsOnlyThatNode) {
+  PageStore store(64);
+  store.Insert(&node_a, 0, SimTime());
+  store.MarkDirty(&node_a, 1, SimTime());
+  store.MarkDirty(&node_a, 2, SimTime());
+  store.Insert(&node_b, 0, SimTime());
+  const uint64_t discarded = store.PurgeNode(&node_a);
+  EXPECT_EQ(discarded, 2u);  // Two dirty pages died unwritten.
+  EXPECT_FALSE(store.IsResident(&node_a, 0));
+  EXPECT_TRUE(store.IsResident(&node_b, 0));
+  EXPECT_EQ(store.dirty_pages(), 0u);
+}
+
+TEST(PageStore, PurgeEmptyNodeIsNoop) {
+  PageStore store(8);
+  EXPECT_EQ(store.PurgeNode(&node_a), 0u);
+}
+
+TEST(PageStore, TruncateDropsTail) {
+  PageStore store(64);
+  for (uint64_t p = 0; p < 10; ++p) {
+    store.Insert(&node_a, p, SimTime());
+  }
+  store.MarkDirty(&node_a, 9, SimTime());
+  const uint64_t discarded = store.TruncateNode(&node_a, 5);
+  EXPECT_EQ(discarded, 1u);
+  for (uint64_t p = 0; p < 5; ++p) {
+    EXPECT_TRUE(store.IsResident(&node_a, p));
+  }
+  for (uint64_t p = 5; p < 10; ++p) {
+    EXPECT_FALSE(store.IsResident(&node_a, p));
+  }
+}
+
+TEST(PageStore, UnboundedCapacityNeverEvicts) {
+  PageStore store(0);
+  for (uint64_t p = 0; p < 10000; ++p) {
+    store.Insert(&node_a, p, SimTime());
+  }
+  EXPECT_EQ(store.resident_pages(), 10000u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+// Property sweep: random op sequences keep counters consistent.
+class PageStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageStorePropertyTest, CountersStayConsistent) {
+  Rng rng(GetParam());
+  PageStore store(32);
+  uint64_t known_dirty = 0;
+  (void)known_dirty;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t page = static_cast<uint64_t>(rng.UniformInt(0, 63));
+    const int op = static_cast<int>(rng.UniformInt(0, 4));
+    switch (op) {
+      case 0:
+        store.Insert(&node_a, page, SimTime());
+        break;
+      case 1:
+        store.MarkDirty(&node_a, page, SimTime());
+        break;
+      case 2:
+        store.MarkClean(&node_a, page);
+        break;
+      case 3:
+        store.Touch(&node_a, page);
+        break;
+      case 4:
+        if (rng.Bernoulli(0.02)) {
+          store.PurgeNode(&node_a);
+        }
+        break;
+    }
+    // Invariants: dirty count equals the per-node sets; dirty <= resident.
+    EXPECT_EQ(store.dirty_pages(), store.DirtyCountOf(&node_a));
+    EXPECT_LE(store.dirty_pages(), store.resident_pages());
+    // Every reported dirty page is resident.
+    for (uint64_t p : store.DirtyPagesOf(&node_a)) {
+      EXPECT_TRUE(store.IsResident(&node_a, p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageStorePropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ntrace

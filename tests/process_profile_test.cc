@@ -1,0 +1,112 @@
+// Tests: the per-process / per-file-type profile analyzer (section 12
+// extension).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/process_profile.h"
+#include "tests/test_util.h"
+
+namespace ntrace {
+namespace {
+
+TEST(ProcessProfiles, SeparatesProcessBehaviors) {
+  TestSystem sys;
+  const uint32_t quick = sys.processes.Spawn("frontpage.exe", sys.engine.Now(), true);
+  const uint32_t holder = sys.processes.Spawn("loadwc.exe", sys.engine.Now(), false);
+
+  // frontpage: three quick open/write/close sessions.
+  for (int i = 0; i < 3; ++i) {
+    CreateRequest req;
+    req.path = "C:\\page" + std::to_string(i) + ".htm";
+    req.disposition = CreateDisposition::kOpenIf;
+    req.desired_access = kAccessReadData | kAccessWriteData;
+    req.process_id = quick;
+    FileObject* fo = sys.io->Create(req).file;
+    ASSERT_NE(fo, nullptr);
+    sys.io->WriteNext(*fo, 2048);
+    sys.io->CloseHandle(*fo);
+  }
+  // loadwc: one file held open for "the whole session".
+  CreateRequest req;
+  req.path = "C:\\subscriptions.dat";
+  req.disposition = CreateDisposition::kOpenIf;
+  req.desired_access = kAccessReadData;
+  req.process_id = holder;
+  FileObject* held = sys.io->Create(req).file;
+  ASSERT_NE(held, nullptr);
+  sys.io->ReadNext(*held, 512);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Hours(2));
+  sys.io->CloseHandle(*held);
+
+  TraceSet& trace = sys.FinishTrace();
+  const InstanceTable table = InstanceTable::Build(trace);
+  const std::vector<ProcessProfile> profiles =
+      ProcessProfileAnalyzer::ByProcess(trace, table);
+
+  const ProcessProfile* fp = nullptr;
+  const ProcessProfile* lw = nullptr;
+  for (const ProcessProfile& p : profiles) {
+    if (p.image_name == "frontpage.exe") {
+      fp = &p;
+    }
+    if (p.image_name == "loadwc.exe") {
+      lw = &p;
+    }
+  }
+  ASSERT_NE(fp, nullptr);
+  ASSERT_NE(lw, nullptr);
+  EXPECT_EQ(fp->opens, 3u);
+  EXPECT_EQ(fp->distinct_files, 3u);
+  EXPECT_GT(fp->bytes_written, 0u);
+  // The section 8.1 contrast: frontpage sessions are milliseconds; the
+  // loadwc session spans hours.
+  EXPECT_LT(fp->session_p90_ms, 1000.0);
+  EXPECT_GT(lw->session_p90_ms, 1000.0 * 3600);
+}
+
+TEST(ProcessProfiles, FailedOpensCounted) {
+  TestSystem sys;
+  CreateRequest req;
+  req.path = "C:\\missing.txt";
+  req.disposition = CreateDisposition::kOpen;
+  req.process_id = sys.pid;
+  sys.io->Create(req);
+  TraceSet& trace = sys.FinishTrace();
+  const InstanceTable table = InstanceTable::Build(trace);
+  const auto profiles = ProcessProfileAnalyzer::ByProcess(trace, table);
+  ASSERT_FALSE(profiles.empty());
+  EXPECT_EQ(profiles[0].failed_opens, 1u);
+}
+
+TEST(FileTypeProfiles, GroupsByCategory) {
+  TestSystem sys;
+  for (const char* name : {"C:\\a.doc", "C:\\b.doc", "C:\\c.gif"}) {
+    CreateRequest req;
+    req.path = name;
+    req.disposition = CreateDisposition::kOpenIf;
+    req.desired_access = kAccessWriteData;
+    req.process_id = sys.pid;
+    FileObject* fo = sys.io->Create(req).file;
+    ASSERT_NE(fo, nullptr);
+    sys.io->WriteNext(*fo, 4096);
+    sys.io->CloseHandle(*fo);
+  }
+  TraceSet& trace = sys.FinishTrace();
+  const InstanceTable table = InstanceTable::Build(trace);
+  const auto types = ProcessProfileAnalyzer::ByFileType(table);
+  uint64_t doc_opens = 0;
+  uint64_t web_opens = 0;
+  for (const FileTypeProfile& t : types) {
+    if (t.category == FileCategory::kDocument) {
+      doc_opens = t.opens;
+    }
+    if (t.category == FileCategory::kWeb) {
+      web_opens = t.opens;
+    }
+  }
+  EXPECT_EQ(doc_opens, 2u);
+  EXPECT_EQ(web_opens, 1u);
+}
+
+}  // namespace
+}  // namespace ntrace

@@ -1,0 +1,209 @@
+// Property-based tests: randomized operation sequences against the full
+// stack, checking invariants that must hold for every seed.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tracedb/instance_table.h"
+#include "tests/test_util.h"
+
+namespace ntrace {
+namespace {
+
+// Random mixed workload against one system; returns the trace.
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWorkloadTest, FullStackInvariants) {
+  TestSystem sys;
+  Rng rng(GetParam());
+  std::vector<FileObject*> open_files;
+  std::map<std::string, uint64_t> expected_sizes;  // Our model of the FS.
+
+  auto path_for = [&rng] {
+    return "C:\\f" + std::to_string(rng.UniformInt(0, 19)) + ".bin";
+  };
+
+  for (int step = 0; step < 800; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    switch (op) {
+      case 0:
+      case 1: {  // Open or create.
+        CreateRequest req;
+        req.path = path_for();
+        req.disposition = rng.Bernoulli(0.5) ? CreateDisposition::kOpenIf
+                                             : CreateDisposition::kOverwriteIf;
+        req.desired_access = kAccessReadData | kAccessWriteData;
+        req.process_id = sys.pid;
+        const CreateResult r = sys.io->Create(req);
+        if (r.file != nullptr) {
+          if (r.action == CreateAction::kCreated || r.action == CreateAction::kOverwritten) {
+            expected_sizes[req.path] = 0;
+          }
+          open_files.push_back(r.file);
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // Write.
+        if (open_files.empty()) {
+          break;
+        }
+        FileObject* fo = open_files[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(open_files.size()) - 1))];
+        const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, 64)) * 1024;
+        const uint32_t length = static_cast<uint32_t>(rng.UniformInt(1, 32 * 1024));
+        const IoResult r = sys.io->Write(*fo, offset, length);
+        if (NtSuccess(r.status)) {
+          uint64_t& size = expected_sizes[fo->path()];
+          size = std::max(size, offset + r.bytes);
+        }
+        break;
+      }
+      case 4:
+      case 5: {  // Read: never exceeds the file, never fails hard.
+        if (open_files.empty()) {
+          break;
+        }
+        FileObject* fo = open_files[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(open_files.size()) - 1))];
+        const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, 96)) * 1024;
+        const IoResult r = sys.io->Read(*fo, offset, 4096);
+        ASSERT_TRUE(NtSuccess(r.status) || r.status == NtStatus::kEndOfFile);
+        const uint64_t size = expected_sizes.count(fo->path()) != 0
+                                  ? expected_sizes[fo->path()]
+                                  : 0;
+        if (offset >= size) {
+          EXPECT_EQ(r.status, NtStatus::kEndOfFile) << fo->path();
+        } else {
+          EXPECT_EQ(r.bytes, std::min<uint64_t>(4096, size - offset));
+        }
+        break;
+      }
+      case 6: {  // Close a random handle.
+        if (open_files.empty()) {
+          break;
+        }
+        const size_t i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(open_files.size()) - 1));
+        sys.io->CloseHandle(*open_files[i]);
+        open_files.erase(open_files.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+      case 7: {  // Truncate.
+        if (open_files.empty()) {
+          break;
+        }
+        FileObject* fo = open_files.back();
+        const uint64_t new_size = static_cast<uint64_t>(rng.UniformInt(0, 32 * 1024));
+        if (NtSuccess(sys.io->SetEndOfFile(*fo, new_size))) {
+          expected_sizes[fo->path()] = new_size;
+        }
+        break;
+      }
+      case 8: {  // Let background machinery run.
+        sys.engine.RunUntil(sys.engine.Now() +
+                            SimDuration::FromSecondsF(rng.UniformReal(0.1, 3.0)));
+        break;
+      }
+      case 9: {  // Verify a size via query.
+        if (open_files.empty()) {
+          break;
+        }
+        FileObject* fo = open_files.front();
+        FileStandardInfo info;
+        ASSERT_EQ(sys.io->QueryStandardInfo(*fo, &info), NtStatus::kSuccess);
+        EXPECT_EQ(info.end_of_file, expected_sizes[fo->path()]) << fo->path();
+        break;
+      }
+    }
+    // Global invariants after every step.
+    ASSERT_LE(sys.cache->pages().dirty_pages(),
+              sys.cache->pages().resident_pages());
+  }
+  for (FileObject* fo : open_files) {
+    sys.io->CloseHandle(*fo);
+  }
+  TraceSet& trace = sys.FinishTrace(SimDuration::Minutes(2));
+
+  // Trace-level invariants.
+  uint64_t creates = 0;
+  uint64_t closes = 0;
+  for (const TraceRecord& r : trace.records) {
+    EXPECT_LE(r.start_ticks, r.complete_ticks);
+    if (r.Event() == TraceEvent::kIrpCreate && !NtError(r.Status())) {
+      ++creates;
+    }
+    if (r.Event() == TraceEvent::kIrpClose) {
+      ++closes;
+    }
+  }
+  // Every successful open eventually closed (close count also covers cache
+  // holder objects; it can never exceed opens).
+  EXPECT_EQ(closes, creates);
+
+  // No dirty data left anywhere after the drain.
+  EXPECT_EQ(sys.cache->pages().dirty_pages(), 0u);
+  EXPECT_EQ(sys.cache->active_maps(), 0u);
+  EXPECT_EQ(sys.io->open_file_count(), 0u);
+
+  // Instance-table consistency.
+  const InstanceTable table = InstanceTable::Build(trace);
+  for (const Instance& row : table.rows()) {
+    if (row.open_failed) {
+      EXPECT_EQ(row.ops.size(), 0u);
+      continue;
+    }
+    EXPECT_EQ(row.reads() + row.writes(), row.ops.size());
+    if (row.cleanup_time != 0) {
+      EXPECT_GE(row.cleanup_time, row.open_complete);
+    }
+    if (row.close_time != 0 && row.cleanup_time != 0) {
+      EXPECT_GE(row.close_time, row.cleanup_time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+// Volume-level property: the file system's size accounting matches a replay
+// of the operations.
+class SizeAccountingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SizeAccountingTest, UsedBytesEqualsSumOfSizes) {
+  TestSystem sys;
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "C:\\s" + std::to_string(rng.UniformInt(0, 30)) + ".dat";
+    CreateRequest req;
+    req.path = path;
+    req.disposition = CreateDisposition::kOverwriteIf;
+    req.desired_access = kAccessWriteData | kAccessDelete;
+    req.process_id = sys.pid;
+    const CreateResult r = sys.io->Create(req);
+    if (r.file == nullptr) {
+      continue;
+    }
+    sys.io->WriteNext(*r.file, static_cast<uint32_t>(rng.UniformInt(1, 64 * 1024)));
+    if (rng.Bernoulli(0.2)) {
+      sys.io->SetDispositionDelete(*r.file, true);
+    }
+    sys.io->CloseHandle(*r.file);
+  }
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Minutes(2));
+  uint64_t total = 0;
+  sys.fs->volume().Walk([&total](const FileNode& node) {
+    if (!node.directory()) {
+      total += node.size;
+    }
+  });
+  EXPECT_EQ(sys.fs->volume().used_bytes(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizeAccountingTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace ntrace

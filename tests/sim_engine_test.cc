@@ -1,0 +1,161 @@
+// Unit tests: src/sim (the discrete-event engine).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace ntrace {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.Schedule(SimDuration::Seconds(3), [&] { order.push_back(3); });
+  engine.Schedule(SimDuration::Seconds(1), [&] { order.push_back(1); });
+  engine.Schedule(SimDuration::Seconds(2), [&] { order.push_back(2); });
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(3));
+}
+
+TEST(Engine, SameTimeEventsFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.Schedule(SimDuration::Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAtClampsPast) {
+  Engine engine;
+  engine.AdvanceBy(SimDuration::Seconds(10));
+  bool fired = false;
+  engine.ScheduleAt(SimTime() + SimDuration::Seconds(5), [&] {
+    fired = true;
+  });
+  engine.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(10));
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.Schedule(SimDuration::Seconds(1), [&] { ++fired; });
+  engine.Schedule(SimDuration::Seconds(5), [&] { ++fired; });
+  engine.RunUntil(SimTime() + SimDuration::Seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(2));
+  engine.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilIncludesBoundary) {
+  Engine engine;
+  bool fired = false;
+  engine.Schedule(SimDuration::Seconds(2), [&] { fired = true; });
+  engine.RunUntil(SimTime() + SimDuration::Seconds(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.Schedule(SimDuration::Seconds(1), [&] { fired = true; });
+  engine.Cancel(id);
+  engine.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, PeriodicFiresRepeatedlyUntilCancelled) {
+  Engine engine;
+  int count = 0;
+  EventId id = 0;
+  id = engine.SchedulePeriodic(SimDuration::Seconds(1), SimDuration::Seconds(1), [&] {
+    if (++count == 5) {
+      engine.Cancel(id);
+    }
+  });
+  engine.RunUntil(SimTime() + SimDuration::Seconds(100));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, PeriodicCadenceIsExact) {
+  Engine engine;
+  std::vector<int64_t> times;
+  const EventId id = engine.SchedulePeriodic(SimDuration::Seconds(2), SimDuration::Seconds(3),
+                                             [&] { times.push_back(engine.Now().ticks()); });
+  engine.RunUntil(SimTime() + SimDuration::Seconds(12));
+  engine.Cancel(id);
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_EQ(times[0], SimDuration::Seconds(2).ticks());
+  EXPECT_EQ(times[1], SimDuration::Seconds(5).ticks());
+  EXPECT_EQ(times[2], SimDuration::Seconds(8).ticks());
+}
+
+TEST(Engine, AdvanceByMovesClockWithoutDispatch) {
+  Engine engine;
+  bool fired = false;
+  engine.Schedule(SimDuration::Seconds(1), [&] { fired = true; });
+  engine.AdvanceBy(SimDuration::Seconds(5));
+  EXPECT_FALSE(fired);  // Dispatch happens in Run*, not AdvanceBy.
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(5));
+  engine.RunAll();
+  EXPECT_TRUE(fired);
+  // The overtaken event fired at the advanced clock, not its due time.
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(5));
+}
+
+TEST(Engine, CallbackAdvancingClockDelaysLaterEvents) {
+  Engine engine;
+  SimTime second_fire;
+  engine.Schedule(SimDuration::Seconds(1), [&] {
+    engine.AdvanceBy(SimDuration::Seconds(10));  // Synchronous latency.
+  });
+  engine.Schedule(SimDuration::Seconds(2), [&] { second_fire = engine.Now(); });
+  engine.RunAll();
+  // The second event was due at t=2 but could only run after the first
+  // callback consumed 10 seconds.
+  EXPECT_EQ(second_fire, SimTime() + SimDuration::Seconds(11));
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      engine.Schedule(SimDuration::Seconds(1), recurse);
+    }
+  };
+  engine.Schedule(SimDuration::Seconds(1), recurse);
+  engine.RunAll();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(engine.Now(), SimTime() + SimDuration::Seconds(10));
+}
+
+TEST(Engine, DispatchCountTracks) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.Schedule(SimDuration::Seconds(i + 1), [] {});
+  }
+  engine.RunAll();
+  EXPECT_EQ(engine.events_dispatched(), 7u);
+}
+
+TEST(Engine, CancelPeriodicMidStream) {
+  Engine engine;
+  int count = 0;
+  const EventId id =
+      engine.SchedulePeriodic(SimDuration::Seconds(1), SimDuration::Seconds(1), [&] { ++count; });
+  engine.RunUntil(SimTime() + SimDuration::Seconds(3));
+  engine.Cancel(id);
+  engine.RunUntil(SimTime() + SimDuration::Seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace ntrace

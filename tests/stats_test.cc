@@ -1,0 +1,409 @@
+// Unit and property tests: src/stats (distributions, descriptive
+// statistics, heavy-tail diagnostics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/distributions.h"
+#include "src/stats/tails.h"
+
+namespace ntrace {
+namespace {
+
+// --- Distributions ---------------------------------------------------------------
+
+TEST(Distributions, ParetoSupportAndCcdf) {
+  Rng rng(1);
+  ParetoDistribution pareto(2.0, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(pareto.Sample(rng), 2.0);
+  }
+  EXPECT_DOUBLE_EQ(pareto.Ccdf(2.0), 1.0);
+  EXPECT_NEAR(pareto.Ccdf(4.0), std::pow(0.5, 1.5), 1e-12);
+  EXPECT_NEAR(pareto.Quantile(0.5), 2.0 / std::pow(0.5, 1.0 / 1.5), 1e-9);
+}
+
+TEST(Distributions, ParetoMean) {
+  EXPECT_NEAR(ParetoDistribution(1.0, 2.0).Mean(), 2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(ParetoDistribution(1.0, 0.9).Mean()));
+}
+
+TEST(Distributions, ParetoEmpiricalMeanMatchesAnalytic) {
+  Rng rng(2);
+  ParetoDistribution pareto(1.0, 3.0);  // Finite variance: mean converges.
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += pareto.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, pareto.Mean(), 0.02);
+}
+
+TEST(Distributions, BoundedParetoStaysInRange) {
+  Rng rng(3);
+  BoundedParetoDistribution bp(1.0, 100.0, 1.2);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = bp.Sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Distributions, BoundedParetoEmpiricalMean) {
+  Rng rng(4);
+  BoundedParetoDistribution bp(1.0, 1000.0, 1.5);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    sum += bp.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, bp.Mean(), bp.Mean() * 0.03);
+}
+
+TEST(Distributions, ExponentialMean) {
+  Rng rng(5);
+  ExponentialDistribution exp_dist(0.5);
+  EXPECT_DOUBLE_EQ(exp_dist.Mean(), 2.0);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += exp_dist.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Distributions, LogNormalMean) {
+  Rng rng(6);
+  LogNormalDistribution lognormal(1.0, 0.5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += lognormal.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, lognormal.Mean(), lognormal.Mean() * 0.02);
+}
+
+TEST(Distributions, ConstantAndUniform) {
+  Rng rng(7);
+  ConstantDistribution c(42.0);
+  EXPECT_DOUBLE_EQ(c.Sample(rng), 42.0);
+  EXPECT_DOUBLE_EQ(c.Mean(), 42.0);
+  UniformDistribution u(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(u.Mean(), 15.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = u.Sample(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+}
+
+TEST(Distributions, MixtureWeighting) {
+  Rng rng(8);
+  MixtureDistribution mixture({{3.0, std::make_shared<ConstantDistribution>(1.0)},
+                               {1.0, std::make_shared<ConstantDistribution>(5.0)}});
+  EXPECT_DOUBLE_EQ(mixture.Mean(), 2.0);
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (mixture.Sample(rng) == 1.0) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Distributions, DiscreteValuesOnly) {
+  Rng rng(9);
+  DiscreteDistribution d({{512, 1.0}, {4096, 1.0}});
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.Sample(rng);
+    EXPECT_TRUE(v == 512 || v == 4096);
+  }
+  EXPECT_DOUBLE_EQ(d.Mean(), (512 + 4096) / 2.0);
+}
+
+TEST(Distributions, ZipfFavorsLowRanks) {
+  Rng rng(10);
+  ZipfDistribution zipf(100, 1.0);
+  int rank0 = 0;
+  int rank50 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const size_t r = zipf.Sample(rng);
+    EXPECT_LT(r, 100u);
+    if (r == 0) {
+      ++rank0;
+    }
+    if (r == 50) {
+      ++rank50;
+    }
+  }
+  EXPECT_GT(rank0, 10 * rank50);
+}
+
+TEST(Distributions, PoissonProcessRate) {
+  Rng rng(11);
+  PoissonProcess process(10.0);  // 10 events/second.
+  const std::vector<double> arrivals = process.GenerateArrivals(rng, 20000);
+  ASSERT_EQ(arrivals.size(), 20000u);
+  // Mean gap = 0.1 s => 20000 arrivals span ~2000 s.
+  EXPECT_NEAR(arrivals.back(), 2000.0, 60.0);
+  // Arrival times are strictly increasing.
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+// --- StreamingStats ----------------------------------------------------------------
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, WeightedMean) {
+  StreamingStats s;
+  s.Add(10.0, 1.0);
+  s.Add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 17.5);
+}
+
+TEST(StreamingStats, MergeEqualsCombined) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats combined;
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100;
+    (i % 2 == 0 ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.Add(5.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+// --- LogHistogram -------------------------------------------------------------------
+
+TEST(LogHistogram, CdfAndPercentile) {
+  LogHistogram h(1.0, 1e6, 10);
+  for (int i = 0; i < 80; ++i) {
+    h.Add(100.0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    h.Add(100000.0);
+  }
+  EXPECT_NEAR(h.CdfAt(1000.0), 0.8, 0.01);
+  EXPECT_LE(h.Percentile(0.5), 150.0);
+  EXPECT_GE(h.Percentile(0.95), 50000.0);
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h(10.0, 1000.0);
+  h.Add(1.0);       // Below range.
+  h.Add(100000.0);  // Above range.
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+  EXPECT_GT(h.CountAt(0), 0.0);
+  EXPECT_GT(h.CountAt(h.bucket_count() - 1), 0.0);
+}
+
+// --- WeightedCdf --------------------------------------------------------------------
+
+TEST(WeightedCdf, FractionsAndPercentiles) {
+  WeightedCdf cdf;
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  cdf.Add(3.0);
+  cdf.Add(4.0);
+  cdf.Finalize();
+  EXPECT_DOUBLE_EQ(cdf.Fraction(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Fraction(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Fraction(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(1.0), 4.0);
+}
+
+TEST(WeightedCdf, WeightsShiftMass) {
+  WeightedCdf cdf;
+  cdf.Add(1.0, 1.0);
+  cdf.Add(100.0, 9.0);
+  cdf.Finalize();
+  EXPECT_DOUBLE_EQ(cdf.Fraction(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(cdf.Percentile(0.5), 100.0);
+}
+
+TEST(WeightedCdf, MonotoneNondecreasing) {
+  Rng rng(13);
+  WeightedCdf cdf;
+  for (int i = 0; i < 1000; ++i) {
+    cdf.Add(rng.NextDouble() * 1000, rng.NextDouble() + 0.01);
+  }
+  cdf.Finalize();
+  double prev = -1;
+  for (double x = 0; x <= 1000; x += 25) {
+    const double f = cdf.Fraction(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+// --- IntervalSeries -----------------------------------------------------------------
+
+TEST(IntervalSeries, CountsEvents) {
+  IntervalSeries series(10.0);
+  series.AddEvent(0.5);
+  series.AddEvent(5.0);
+  series.AddEvent(15.0);
+  series.AddEvent(99.0);
+  EXPECT_EQ(series.NumIntervals(), 10u);
+  EXPECT_DOUBLE_EQ(series.CountAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(series.CountAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.CountAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(series.CountAt(9), 1.0);
+  EXPECT_EQ(series.Dense().size(), 10u);
+}
+
+// --- Correlation / least squares -----------------------------------------------------
+
+TEST(Correlation, PerfectAndAbsent) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> anti = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, anti), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, flat), 0.0);
+}
+
+TEST(LeastSquaresFit, RecoversLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = LeastSquares(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+// --- Tail diagnostics ------------------------------------------------------------------
+
+class HillRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HillRecoveryTest, RecoversTrueAlpha) {
+  const double alpha = GetParam();
+  Rng rng(17);
+  ParetoDistribution pareto(1.0, alpha);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) {
+    sample.push_back(pareto.Sample(rng));
+  }
+  const double estimate = HillEstimator::EstimateWithTailFraction(sample, 0.05);
+  EXPECT_NEAR(estimate, alpha, alpha * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, HillRecoveryTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 1.7, 2.0, 2.5));
+
+TEST(HillEstimator, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(HillEstimator::Estimate({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(HillEstimator::Estimate({1.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(HillEstimator::Estimate({1.0, 2.0, 3.0}, 5), 0.0);
+}
+
+TEST(HillEstimator, HillPlotStabilizes) {
+  Rng rng(18);
+  ParetoDistribution pareto(1.0, 1.4);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    sample.push_back(pareto.Sample(rng));
+  }
+  const auto plot = HillEstimator::HillPlot(sample, 500, 5000, 500);
+  ASSERT_GT(plot.size(), 5u);
+  for (const auto& [k, alpha_hat] : plot) {
+    EXPECT_NEAR(alpha_hat, 1.4, 0.25) << "k=" << k;
+  }
+}
+
+TEST(Llcd, ParetoTailSlopeRecovered) {
+  Rng rng(19);
+  ParetoDistribution pareto(1.0, 1.3);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) {
+    sample.push_back(pareto.Sample(rng));
+  }
+  const LlcdSeries llcd = BuildLlcd(sample, 0.1);
+  EXPECT_NEAR(llcd.alpha_hat, 1.3, 0.15);
+  EXPECT_GT(llcd.fit_r2, 0.98);
+}
+
+TEST(Llcd, ExponentialNotPowerLaw) {
+  Rng rng(20);
+  ExponentialDistribution exp_dist(1.0);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) {
+    sample.push_back(exp_dist.Sample(rng));
+  }
+  const LlcdSeries llcd = BuildLlcd(sample, 0.1);
+  // Exponential tail decays super-polynomially: fitted "alpha" large.
+  EXPECT_GT(llcd.alpha_hat, 2.5);
+}
+
+TEST(Qq, NormalSampleMatchesNormal) {
+  Rng rng(21);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    sample.push_back(5.0 + 2.0 * rng.NextGaussian());
+  }
+  const QqSeries qn = QqAgainstNormal(sample);
+  EXPECT_LT(qn.deviation, 0.001);
+}
+
+TEST(Qq, ParetoSampleMatchesParetoNotNormal) {
+  Rng rng(22);
+  ParetoDistribution pareto(1.0, 1.2);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    sample.push_back(pareto.Sample(rng));
+  }
+  const QqSeries qp = QqAgainstPareto(sample);
+  const QqSeries qn = QqAgainstNormal(sample);
+  EXPECT_LT(qp.deviation, qn.deviation);
+}
+
+TEST(NormalQuantileFn, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.95996, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.95996, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.9999), 3.719, 1e-2);
+}
+
+}  // namespace
+}  // namespace ntrace

@@ -1,0 +1,79 @@
+// Shared fixture pieces for tests: a single simulated system with one local
+// volume, cache manager, VM manager and trace filter, wired exactly like the
+// study fleet wires its machines.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fs/fs_driver.h"
+#include "src/mm/cache_manager.h"
+#include "src/mm/vm_manager.h"
+#include "src/ntio/io_manager.h"
+#include "src/sim/engine.h"
+#include "src/trace/collection_server.h"
+#include "src/trace/trace_agent.h"
+
+namespace ntrace {
+
+// One traced machine with a "C:" volume. Members are public on purpose:
+// tests poke at every layer.
+class TestSystem {
+ public:
+  explicit TestSystem(CacheConfig cache_config = {}, FsOptions fs_options = {},
+                      TraceFilterOptions filter_options = {}) {
+    io = std::make_unique<IoManager>(engine, processes);
+    cache = std::make_unique<CacheManager>(engine, *io, cache_config);
+    cache->Start();
+    vm = std::make_unique<VmManager>(engine, *io, *cache);
+    auto volume = std::make_unique<Volume>("C:", 4ull << 30);
+    fs = std::make_unique<FileSystemDriver>(engine, *cache, std::move(volume), "C:",
+                                            DiskProfile::Ide(), fs_options);
+    fs_device = std::make_unique<DeviceObject>("fs:C:", fs.get());
+    io->RegisterVolume("C:", fs_device.get());
+    agent = std::make_unique<TraceAgent>(engine, *io, server, /*system_id=*/1, filter_options);
+    agent->AttachToVolume("C:", fs.get());
+    pid = processes.Spawn("test.exe", engine.Now());
+  }
+
+  // Convenience: create-or-open a file for read/write.
+  FileObject* OpenRw(const std::string& path, uint32_t extra_options = 0) {
+    CreateRequest req;
+    req.path = path;
+    req.disposition = CreateDisposition::kOpenIf;
+    req.desired_access = kAccessReadData | kAccessWriteData;
+    req.create_options = extra_options;
+    req.process_id = pid;
+    CreateResult r = io->Create(req);
+    return r.file;
+  }
+
+  // Runs the engine forward and collects the trace.
+  TraceSet& FinishTrace(SimDuration settle = SimDuration::Seconds(30)) {
+    engine.RunUntil(engine.Now() + settle);
+    agent->Flush();
+    engine.RunUntil(engine.Now() + SimDuration::Seconds(1));
+    TraceSet& set = server.Finish();
+    for (const auto& [p, info] : processes.all()) {
+      set.process_names[p] = info.image_name;
+    }
+    return set;
+  }
+
+  Engine engine;
+  ProcessTable processes;
+  CollectionServer server;
+  std::unique_ptr<IoManager> io;
+  std::unique_ptr<CacheManager> cache;
+  std::unique_ptr<VmManager> vm;
+  std::unique_ptr<FileSystemDriver> fs;
+  std::unique_ptr<DeviceObject> fs_device;
+  std::unique_ptr<TraceAgent> agent;
+  uint32_t pid = 0;
+};
+
+}  // namespace ntrace
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,119 @@
+// Unit tests: src/mm/vm_manager -- sections, demand faulting, clustered
+// paging reads, image-page retention across "process exits".
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ntrace {
+namespace {
+
+FileObject* BuildImage(TestSystem& sys, const char* path, uint32_t bytes) {
+  FileObject* w = sys.OpenRw(path);
+  sys.io->Write(*w, 0, bytes);
+  sys.io->CloseHandle(*w);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(10));
+  sys.cache->PurgeNode(sys.fs->volume().Lookup(std::string(path).substr(3)));
+  CreateRequest req;
+  req.path = path;
+  req.disposition = CreateDisposition::kOpen;
+  req.desired_access = kAccessReadData | kAccessExecute;
+  req.process_id = sys.pid;
+  return sys.io->Create(req).file;
+}
+
+TEST(VmManager, FaultRangeIssuesClusteredPagingReads) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\app.exe", 128 * 1024);  // 32 pages.
+  ASSERT_NE(fo, nullptr);
+  const uint64_t section = sys.vm->CreateSection(*fo, 128 * 1024, /*image=*/true);
+  const uint64_t faulted = sys.vm->FaultRange(section, 0, 64 * 1024);
+  EXPECT_EQ(faulted, 16u);
+  // Default cluster = 8 pages: 16 pages in 2 paging IRPs.
+  EXPECT_EQ(sys.vm->stats().fault_irps, 2u);
+  EXPECT_EQ(sys.vm->stats().pages_faulted, 16u);
+  sys.vm->DeleteSection(section);
+  sys.io->CloseHandle(*fo);
+}
+
+TEST(VmManager, SoftFaultsOnWarmRestart) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\warm.exe", 64 * 1024);
+  ASSERT_NE(fo, nullptr);
+  const uint64_t s1 = sys.vm->CreateSection(*fo, 64 * 1024, true);
+  sys.vm->FaultRange(s1, 0, 64 * 1024);
+  sys.vm->DeleteSection(s1);
+  const uint64_t hard_first = sys.vm->stats().pages_faulted;
+  // "Executable code pages frequently remain in memory after their
+  // application has finished executing" (section 3.3): the second launch
+  // takes only soft faults.
+  const uint64_t s2 = sys.vm->CreateSection(*fo, 64 * 1024, true);
+  const uint64_t faulted = sys.vm->FaultRange(s2, 0, 64 * 1024);
+  EXPECT_EQ(faulted, 0u);
+  EXPECT_EQ(sys.vm->stats().pages_faulted, hard_first);
+  EXPECT_GE(sys.vm->stats().soft_faults, 16u);
+  sys.vm->DeleteSection(s2);
+  sys.io->CloseHandle(*fo);
+}
+
+TEST(VmManager, SectionHoldsFileObjectAlive) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\held.exe", 16 * 1024);
+  ASSERT_NE(fo, nullptr);
+  const uint64_t section = sys.vm->CreateSection(*fo, 16 * 1024, false);
+  sys.io->CloseHandle(*fo);  // Handle gone; the section still references it.
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(10));
+  // Faulting through the section still works.
+  EXPECT_GT(sys.vm->FaultRange(section, 0, 16 * 1024), 0u);
+  sys.vm->DeleteSection(section);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(10));
+  EXPECT_EQ(sys.io->open_file_count(), 0u);
+}
+
+TEST(VmManager, FaultBeyondSectionIsClamped) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\small.exe", 8 * 1024);
+  ASSERT_NE(fo, nullptr);
+  const uint64_t section = sys.vm->CreateSection(*fo, 8 * 1024, false);
+  EXPECT_EQ(sys.vm->FaultRange(section, 16 * 1024, 4096), 0u);
+  const uint64_t faulted = sys.vm->FaultRange(section, 4096, 1 << 20);
+  EXPECT_EQ(faulted, 1u);  // Only the last page of the 2-page section.
+  sys.vm->DeleteSection(section);
+  sys.io->CloseHandle(*fo);
+}
+
+TEST(VmManager, PagingReadsCarryPagingFlagNotCacheFlag) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\flags.exe", 32 * 1024);
+  ASSERT_NE(fo, nullptr);
+  const uint64_t section = sys.vm->CreateSection(*fo, 32 * 1024, true);
+  sys.vm->FaultRange(section, 0, 32 * 1024);
+  sys.vm->DeleteSection(section);
+  sys.io->CloseHandle(*fo);
+  TraceSet& set = sys.FinishTrace();
+  bool found_vm_paging = false;
+  for (const TraceRecord& r : set.records) {
+    if (r.Event() == TraceEvent::kIrpRead && r.IsPagingIo() && !r.IsCacheInduced()) {
+      found_vm_paging = true;
+    }
+  }
+  EXPECT_TRUE(found_vm_paging);
+}
+
+TEST(VmManager, DirtyRangeFlushedAtSectionDeletion) {
+  TestSystem sys;
+  FileObject* fo = BuildImage(sys, "C:\\mapped.dat", 32 * 1024);
+  ASSERT_NE(fo, nullptr);
+  const uint64_t section = sys.vm->CreateSection(*fo, 32 * 1024, false);
+  sys.vm->FaultRange(section, 0, 8 * 1024);
+  sys.vm->DirtyRange(section, 0, 8 * 1024);
+  const void* node = fo->fs_context;
+  EXPECT_GT(sys.cache->pages().DirtyCountOf(node), 0u);
+  sys.io->CloseHandle(*fo);
+  sys.engine.RunUntil(sys.engine.Now() + SimDuration::Seconds(30));
+  sys.vm->DeleteSection(section);
+  EXPECT_EQ(sys.cache->pages().DirtyCountOf(node), 0u);
+}
+
+}  // namespace
+}  // namespace ntrace

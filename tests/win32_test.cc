@@ -1,0 +1,211 @@
+// Unit tests: src/win32 -- the runtime-library operation amplification the
+// paper attributes to Win32 (implicit control operations, probe-then-create,
+// multi-step DeleteFile/MoveFile/CopyFile).
+
+#include <gtest/gtest.h>
+
+#include "src/win32/win32_api.h"
+#include "tests/test_util.h"
+
+namespace ntrace {
+namespace {
+
+struct Win32System : TestSystem {
+  Win32System() : api(*io) {}
+  Win32Api api;
+};
+
+TEST(Win32, CreateFileDispositionMapping) {
+  Win32System sys;
+  NtStatus status;
+  // CREATE_NEW on a fresh name succeeds.
+  FileObject* a = sys.api.CreateFile("C:\\new.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateNew, 0, sys.pid, &status);
+  ASSERT_NE(a, nullptr);
+  sys.api.CloseHandle(*a);
+  // CREATE_NEW again collides.
+  EXPECT_EQ(sys.api.CreateFile("C:\\new.txt", kAccessWriteData, Win32Disposition::kCreateNew, 0,
+                               sys.pid, &status),
+            nullptr);
+  EXPECT_EQ(status, NtStatus::kObjectNameCollision);
+  // TRUNCATE_EXISTING of a missing file fails.
+  EXPECT_EQ(sys.api.CreateFile("C:\\gone.txt", kAccessWriteData,
+                               Win32Disposition::kTruncateExisting, 0, sys.pid, &status),
+            nullptr);
+  EXPECT_EQ(status, NtStatus::kObjectNameNotFound);
+}
+
+TEST(Win32, DeleteFileIsOpenSetClose) {
+  Win32System sys;
+  FileObject* a = sys.api.CreateFile("C:\\victim.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.CloseHandle(*a);
+  EXPECT_TRUE(sys.api.DeleteFile("C:\\victim.txt", sys.pid));
+  NtStatus status;
+  EXPECT_FALSE(sys.api.DeleteFile("C:\\victim.txt", sys.pid, &status));
+  EXPECT_EQ(status, NtStatus::kObjectNameNotFound);
+
+  // The trace shows the three-step shape: create, set-disposition, cleanup.
+  TraceSet& set = sys.FinishTrace();
+  bool saw_disposition = false;
+  for (const TraceRecord& r : set.records) {
+    if (r.Event() == TraceEvent::kIrpSetInformation &&
+        static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kDisposition) {
+      saw_disposition = true;
+      EXPECT_EQ(r.offset, 1u);  // The delete flag rides in the offset field.
+    }
+  }
+  EXPECT_TRUE(saw_disposition);
+}
+
+TEST(Win32, MoveFileRenames) {
+  Win32System sys;
+  FileObject* a = sys.api.CreateFile("C:\\from.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.WriteFile(*a, 123, nullptr);
+  sys.api.CloseHandle(*a);
+  EXPECT_TRUE(sys.api.MoveFile("C:\\from.txt", "C:\\to.txt", sys.pid));
+  EXPECT_FALSE(sys.api.GetFileAttributes("C:\\from.txt", sys.pid).has_value());
+  const auto size = sys.api.GetFileSize("C:\\to.txt", sys.pid);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 123u);
+}
+
+TEST(Win32, GetFileAttributesIsControlOnlySession) {
+  Win32System sys;
+  FileObject* a = sys.api.CreateFile("C:\\probe.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.CloseHandle(*a);
+  const auto attrs = sys.api.GetFileAttributes("C:\\probe.txt", sys.pid);
+  EXPECT_TRUE(attrs.has_value());
+  EXPECT_FALSE(sys.api.GetFileAttributes("C:\\missing.txt", sys.pid).has_value());
+}
+
+TEST(Win32, CopyFilePreservesSizeAndTimes) {
+  Win32System sys;
+  FileObject* src = sys.api.CreateFile("C:\\src.bin", kAccessWriteData,
+                                       Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.WriteFile(*src, 200000, nullptr);
+  sys.api.CloseHandle(*src);
+  const auto src_attrs = sys.api.GetFileAttributes("C:\\src.bin", sys.pid);
+  sys.engine.AdvanceBy(SimDuration::Seconds(30));
+
+  const auto copied = sys.api.CopyFile("C:\\src.bin", "C:\\dst.bin", sys.pid);
+  ASSERT_TRUE(copied.has_value());
+  EXPECT_EQ(*copied, 200000u);
+  const auto dst_size = sys.api.GetFileSize("C:\\dst.bin", sys.pid);
+  EXPECT_EQ(*dst_size, 200000u);
+  const auto dst_attrs = sys.api.GetFileAttributes("C:\\dst.bin", sys.pid);
+  ASSERT_TRUE(dst_attrs.has_value());
+  EXPECT_EQ(dst_attrs->creation_time, src_attrs->creation_time);
+}
+
+TEST(Win32, CopyMissingSourceFails) {
+  Win32System sys;
+  EXPECT_FALSE(sys.api.CopyFile("C:\\ghost.bin", "C:\\dst.bin", sys.pid).has_value());
+}
+
+TEST(Win32, FindFirstNextEnumeratesEverything) {
+  Win32System sys;
+  sys.api.CreateDirectory("C:\\list", sys.pid);
+  for (int i = 0; i < 10; ++i) {
+    FileObject* f = sys.api.CreateFile("C:\\list\\f" + std::to_string(i) + ".txt",
+                                       kAccessWriteData, Win32Disposition::kCreateAlways, 0,
+                                       sys.pid);
+    sys.api.CloseHandle(*f);
+  }
+  FileObject* handle = nullptr;
+  std::vector<FindData> found;
+  ASSERT_TRUE(sys.api.FindFirstFile("C:\\list", "*", sys.pid, &handle, &found));
+  while (sys.api.FindNextFile(*handle, &found)) {
+  }
+  sys.api.FindClose(*handle);
+  EXPECT_EQ(found.size(), 10u);
+}
+
+TEST(Win32, FindFirstOnMissingDirectoryFails) {
+  Win32System sys;
+  FileObject* handle = nullptr;
+  std::vector<FindData> found;
+  EXPECT_FALSE(sys.api.FindFirstFile("C:\\nowhere", "*", sys.pid, &handle, &found));
+  EXPECT_EQ(handle, nullptr);
+}
+
+TEST(Win32, OpenOrCreateProbesThenCreates) {
+  Win32System sys;
+  bool created = false;
+  FileObject* a = sys.api.OpenOrCreate("C:\\maybe.txt", kAccessReadData | kAccessWriteData, 0,
+                                       sys.pid, &created);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(created);
+  sys.api.CloseHandle(*a);
+  FileObject* b = sys.api.OpenOrCreate("C:\\maybe.txt", kAccessReadData, 0, sys.pid, &created);
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(created);
+  sys.api.CloseHandle(*b);
+
+  // The probe-then-create idiom leaves a failed open in the trace (the
+  // section 8.4 error population).
+  TraceSet& set = sys.FinishTrace();
+  int failed_creates = 0;
+  for (const TraceRecord& r : set.records) {
+    if (r.Event() == TraceEvent::kIrpCreate && NtError(r.Status())) {
+      ++failed_creates;
+    }
+  }
+  EXPECT_GE(failed_creates, 1);
+}
+
+TEST(Win32, VolumeChecksAccompanyOpens) {
+  Win32System sys;
+  FileObject* a = sys.api.CreateFile("C:\\vc.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.CloseHandle(*a);
+  TraceSet& set = sys.FinishTrace();
+  int volume_checks = 0;
+  for (const TraceRecord& r : set.records) {
+    if (r.Event() == TraceEvent::kIrpFileSystemControl &&
+        static_cast<FsctlCode>(r.fsctl) == FsctlCode::kIsVolumeMounted) {
+      ++volume_checks;
+    }
+  }
+  EXPECT_GE(volume_checks, 1);
+}
+
+TEST(Win32, RemoveDirectoryOnlyWhenEmpty) {
+  Win32System sys;
+  sys.api.CreateDirectory("C:\\rmd", sys.pid);
+  FileObject* f = sys.api.CreateFile("C:\\rmd\\x.txt", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.CloseHandle(*f);
+  EXPECT_FALSE(sys.api.RemoveDirectory("C:\\rmd", sys.pid));
+  sys.api.DeleteFile("C:\\rmd\\x.txt", sys.pid);
+  EXPECT_TRUE(sys.api.RemoveDirectory("C:\\rmd", sys.pid));
+}
+
+TEST(Win32, GetDiskFreeSpaceReflectsUsage) {
+  Win32System sys;
+  const auto before = sys.api.GetDiskFreeSpace("C:", sys.pid);
+  ASSERT_TRUE(before.has_value());
+  FileObject* f = sys.api.CreateFile("C:\\big.bin", kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.WriteFile(*f, 1 << 20, nullptr);
+  sys.api.CloseHandle(*f);
+  const auto after = sys.api.GetDiskFreeSpace("C:", sys.pid);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*before - *after, 1u << 20);
+}
+
+TEST(Win32, SetEndOfFileTruncatesAtPointer) {
+  Win32System sys;
+  FileObject* f = sys.api.CreateFile("C:\\cut.bin", kAccessReadData | kAccessWriteData,
+                                     Win32Disposition::kCreateAlways, 0, sys.pid);
+  sys.api.WriteFile(*f, 10000, nullptr);
+  sys.api.SetFilePointer(*f, 1234);
+  EXPECT_TRUE(sys.api.SetEndOfFile(*f));
+  sys.api.CloseHandle(*f);
+  EXPECT_EQ(*sys.api.GetFileSize("C:\\cut.bin", sys.pid), 1234u);
+}
+
+}  // namespace
+}  // namespace ntrace

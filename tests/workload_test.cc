@@ -1,0 +1,262 @@
+// Unit tests: src/workload -- name/size generation, the file-system image
+// builder's section-5 invariants, and the behavioral signatures of the
+// application models.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/trace/collection_server.h"
+#include "src/tracedb/dimensions.h"
+#include "src/tracedb/instance_table.h"
+#include "src/workload/fs_image.h"
+#include "src/workload/namegen.h"
+#include "src/workload/simulated_system.h"
+
+namespace ntrace {
+namespace {
+
+// --- Name and size generation ---------------------------------------------------
+
+TEST(NameGen, ExtensionsMatchCategory) {
+  NameGenerator names(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string ext = names.ExtensionFor(FileCategory::kExecutable);
+    EXPECT_EQ(FileTypeDimension::CategoryOfExtension(ext), FileCategory::kExecutable) << ext;
+    const std::string web = names.ExtensionFor(FileCategory::kWeb);
+    EXPECT_EQ(FileTypeDimension::CategoryOfExtension(web), FileCategory::kWeb) << web;
+  }
+}
+
+TEST(NameGen, WebCacheNamesLookRight) {
+  NameGenerator names(2);
+  const std::string n = names.WebCacheName();
+  EXPECT_GE(n.size(), 10u);
+  EXPECT_EQ(n.find(' '), std::string::npos);
+  EXPECT_NE(n.find('.'), std::string::npos);
+}
+
+TEST(SizeModel, ExecutablesDominateLargeFiles) {
+  SizeModel sizes(3);
+  double exec_total = 0;
+  double web_total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    exec_total += static_cast<double>(sizes.SampleSize(FileCategory::kExecutable));
+    web_total += static_cast<double>(sizes.SampleSize(FileCategory::kWeb));
+  }
+  EXPECT_GT(exec_total / n, 10.0 * (web_total / n));
+}
+
+TEST(SizeModel, SizesArePositive) {
+  SizeModel sizes(4);
+  for (int c = 0; c < kNumFileCategories; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_GE(sizes.SampleSize(static_cast<FileCategory>(c)), 1u);
+    }
+  }
+}
+
+// --- Image builder -----------------------------------------------------------------
+
+TEST(FsImage, LocalImageHasSection5Structure) {
+  FsImageOptions options;
+  options.seed = 5;
+  options.scale = 0.1;
+  options.developer_content = true;
+  options.scientific_content = true;
+  FsImageBuilder builder(options);
+  Volume volume("C:", 4ull << 30);
+  ImageCatalog catalog;
+  builder.BuildLocal(volume, "C:", SimTime() + SimDuration::Days(400), &catalog);
+
+  EXPECT_NE(volume.Lookup("winnt\\system32"), nullptr);
+  EXPECT_NE(volume.Lookup("winnt\\fonts"), nullptr);
+  EXPECT_NE(volume.Lookup("winnt\\profiles\\user\\temporary internet files"), nullptr);
+  EXPECT_NE(volume.Lookup("temp"), nullptr);
+  EXPECT_NE(volume.Lookup("dev\\project"), nullptr);
+
+  EXPECT_FALSE(catalog.executables.empty());
+  EXPECT_FALSE(catalog.dlls.empty());
+  EXPECT_FALSE(catalog.fonts.empty());
+  EXPECT_FALSE(catalog.web_cache_files.empty());
+  EXPECT_FALSE(catalog.sources.empty());
+  EXPECT_FALSE(catalog.sdk_files.empty());
+  EXPECT_FALSE(catalog.scientific_files.empty());
+  EXPECT_FALSE(catalog.database_files.empty());
+  EXPECT_EQ(catalog.local_prefix, "C:");
+  EXPECT_FALSE(catalog.pch_file.empty());
+
+  // Catalog paths resolve in the volume.
+  for (const std::string& path : catalog.dlls) {
+    ASSERT_EQ(path.substr(0, 3), "C:\\");
+    EXPECT_NE(volume.Lookup(path.substr(3)), nullptr) << path;
+  }
+
+  // Scientific files are 100-300 MB (paper section 6.1).
+  for (const std::string& path : catalog.scientific_files) {
+    const FileNode* node = volume.Lookup(path.substr(3));
+    ASSERT_NE(node, nullptr);
+    EXPECT_GE(node->size, 100ull << 20);
+    EXPECT_LE(node->size, 300ull << 20);
+  }
+}
+
+TEST(FsImage, TimestampAnomaliesPresent) {
+  FsImageOptions options;
+  options.seed = 6;
+  options.scale = 0.3;
+  FsImageBuilder builder(options);
+  Volume volume("C:", 4ull << 30);
+  ImageCatalog catalog;
+  builder.BuildLocal(volume, "C:", SimTime() + SimDuration::Days(400), &catalog);
+  uint64_t files = 0;
+  uint64_t anomalies = 0;
+  volume.Walk([&](const FileNode& node) {
+    if (node.directory()) {
+      return;
+    }
+    ++files;
+    if (node.creation_time > node.last_access_time) {
+      ++anomalies;
+    }
+  });
+  ASSERT_GT(files, 100u);
+  const double fraction = static_cast<double>(anomalies) / static_cast<double>(files);
+  EXPECT_GT(fraction, 0.005);  // Paper: 2-4%.
+  EXPECT_LT(fraction, 0.10);
+}
+
+TEST(FsImage, ShareSizesVaryAcrossUsers) {
+  // "There was no uniformity in size or content of the user shares".
+  std::vector<uint64_t> counts;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FsImageOptions options;
+    options.seed = seed;
+    options.scale = 0.3;
+    FsImageBuilder builder(options);
+    Volume share("\\\\srv\\u", 2ull << 30);
+    ImageCatalog catalog;
+    builder.BuildShare(share, "\\\\srv\\u", SimTime(), &catalog);
+    counts.push_back(share.Counts().files);
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*max_it, *min_it * 2) << "share sizes should spread widely";
+}
+
+// --- Simulated system / model signatures ---------------------------------------------
+
+struct SystemHarness {
+  explicit SystemHarness(UsageCategory category, uint64_t seed = 11) {
+    SystemOptions options;
+    options.system_id = 3;
+    options.category = category;
+    options.seed = seed;
+    options.days = 1;
+    options.activity_scale = 0.25;
+    options.content_scale = 0.05;
+    system = std::make_unique<SimulatedSystem>(options, server);
+    stats = system->Run();
+    TraceSet& t = server.Finish();
+    for (const auto& [pid, info] : system->processes().all()) {
+      t.process_names.emplace(pid, info.image_name);
+    }
+  }
+  CollectionServer server;
+  std::unique_ptr<SimulatedSystem> system;
+  SystemRunStats stats;
+};
+
+std::map<std::string, int> OpensPerProcess(const TraceSet& trace) {
+  std::map<std::string, int> out;
+  for (const TraceRecord& r : trace.records) {
+    if (r.Event() != TraceEvent::kIrpCreate) {
+      continue;
+    }
+    const std::string* name = trace.ProcessNameOf(r.process_id);
+    if (name != nullptr) {
+      ++out[*name];
+    }
+  }
+  return out;
+}
+
+TEST(SimSystem, PersonalSystemRunsExpectedProcessMix) {
+  SystemHarness h(UsageCategory::kPersonal);
+  const auto opens = OpensPerProcess(h.server.set());
+  EXPECT_GT(opens.count("explorer.exe"), 0u);
+  EXPECT_GT(opens.count("winlogon.exe"), 0u);
+  EXPECT_GT(opens.count("services.exe"), 0u);
+  EXPECT_GT(opens.count("shell32.exe"), 0u);
+  EXPECT_EQ(opens.count("cl.exe"), 0u);       // No compiler on personal systems.
+  EXPECT_EQ(opens.count("dbengine.exe"), 0u);
+}
+
+TEST(SimSystem, PoolSystemRunsDevelopmentTools) {
+  SystemHarness h(UsageCategory::kPool);
+  const auto opens = OpensPerProcess(h.server.set());
+  EXPECT_GT(opens.count("cl.exe"), 0u);
+  EXPECT_EQ(opens.count("simulate.exe"), 0u);
+}
+
+TEST(SimSystem, ScientificSystemMapsLargeFiles) {
+  SystemHarness h(UsageCategory::kScientific);
+  EXPECT_GT(h.stats.vm.sections_created, 0u);
+  EXPECT_GT(h.stats.vm.fault_bytes, 0u);
+}
+
+TEST(SimSystem, MailboxAppendsUseLargeBuffers) {
+  SystemHarness h(UsageCategory::kPersonal, 13);
+  const TraceSet& trace = h.server.set();
+  uint32_t max_write = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (IsWriteEvent(r.Event()) && !r.IsPagingIo()) {
+      max_write = std::max(max_write, r.length);
+    }
+  }
+  // The mailer's large single-buffer appends (up to 4 MB).
+  EXPECT_GE(max_write, 64u * 1024);
+}
+
+TEST(SimSystem, SnapshotsAndTraceBothCollected) {
+  SystemHarness h(UsageCategory::kWalkUp);
+  EXPECT_GT(h.stats.trace_records, 1000u);
+  EXPECT_EQ(h.stats.trace_drops, 0u);
+  ASSERT_FALSE(h.stats.snapshots.empty());
+  ASSERT_FALSE(h.stats.snapshots[0].snapshots.empty());
+  EXPECT_GT(h.stats.snapshots[0].snapshots[0].FileCount(), 100u);
+}
+
+TEST(SimSystem, WinlogonTouchesTheShare) {
+  SystemHarness h(UsageCategory::kWalkUp, 17);
+  const TraceSet& trace = h.server.set();
+  bool share_traffic = false;
+  for (const NameRecord& n : trace.names) {
+    if (n.path.rfind("\\\\server\\", 0) == 0) {
+      share_traffic = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(share_traffic);
+}
+
+TEST(SimSystem, NotepadSaveSignaturePresent) {
+  SystemHarness h(UsageCategory::kPersonal, 19);
+  const TraceSet& trace = h.server.set();
+  const InstanceTable table = InstanceTable::Build(trace);
+  // Notepad's probe-before-save: failed opens from an interactive process.
+  int failed_interactive = 0;
+  for (const Instance& row : table.rows()) {
+    if (!row.open_failed) {
+      continue;
+    }
+    const std::string* name = trace.ProcessNameOf(row.process_id);
+    if (name != nullptr && ProcessDimension::Classify(*name) == ProcessClass::kInteractive) {
+      ++failed_interactive;
+    }
+  }
+  EXPECT_GT(failed_interactive, 0);
+}
+
+}  // namespace
+}  // namespace ntrace
