@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_profiles.dir/bench_ext_profiles.cc.o"
+  "CMakeFiles/bench_ext_profiles.dir/bench_ext_profiles.cc.o.d"
+  "bench_ext_profiles"
+  "bench_ext_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_fastio.dir/bench_fig13_14_fastio.cc.o"
+  "CMakeFiles/bench_fig13_14_fastio.dir/bench_fig13_14_fastio.cc.o.d"
+  "bench_fig13_14_fastio"
+  "bench_fig13_14_fastio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_fastio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

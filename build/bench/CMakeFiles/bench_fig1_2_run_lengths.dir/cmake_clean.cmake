@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_run_lengths.dir/bench_fig1_2_run_lengths.cc.o"
+  "CMakeFiles/bench_fig1_2_run_lengths.dir/bench_fig1_2_run_lengths.cc.o.d"
+  "bench_fig1_2_run_lengths"
+  "bench_fig1_2_run_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_run_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_file_sizes.dir/bench_fig3_4_file_sizes.cc.o"
+  "CMakeFiles/bench_fig3_4_file_sizes.dir/bench_fig3_4_file_sizes.cc.o.d"
+  "bench_fig3_4_file_sizes"
+  "bench_fig3_4_file_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_file_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_lifetimes.dir/bench_fig6_7_lifetimes.cc.o"
+  "CMakeFiles/bench_fig6_7_lifetimes.dir/bench_fig6_7_lifetimes.cc.o.d"
+  "bench_fig6_7_lifetimes"
+  "bench_fig6_7_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

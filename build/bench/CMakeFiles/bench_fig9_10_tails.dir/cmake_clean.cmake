@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_tails.dir/bench_fig9_10_tails.cc.o"
+  "CMakeFiles/bench_fig9_10_tails.dir/bench_fig9_10_tails.cc.o.d"
+  "bench_fig9_10_tails"
+  "bench_fig9_10_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

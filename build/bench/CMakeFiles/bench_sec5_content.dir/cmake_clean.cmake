@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_content.dir/bench_sec5_content.cc.o"
+  "CMakeFiles/bench_sec5_content.dir/bench_sec5_content.cc.o.d"
+  "bench_sec5_content"
+  "bench_sec5_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_operations.dir/bench_sec8_operations.cc.o"
+  "CMakeFiles/bench_sec8_operations.dir/bench_sec8_operations.cc.o.d"
+  "bench_sec8_operations"
+  "bench_sec8_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

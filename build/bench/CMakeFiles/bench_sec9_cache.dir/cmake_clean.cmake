@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec9_cache.dir/bench_sec9_cache.cc.o"
+  "CMakeFiles/bench_sec9_cache.dir/bench_sec9_cache.cc.o.d"
+  "bench_sec9_cache"
+  "bench_sec9_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_user_activity.dir/bench_table2_user_activity.cc.o"
+  "CMakeFiles/bench_table2_user_activity.dir/bench_table2_user_activity.cc.o.d"
+  "bench_table2_user_activity"
+  "bench_table2_user_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_user_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

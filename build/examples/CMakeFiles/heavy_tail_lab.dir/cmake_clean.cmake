@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_tail_lab.dir/heavy_tail_lab.cpp.o"
+  "CMakeFiles/heavy_tail_lab.dir/heavy_tail_lab.cpp.o.d"
+  "heavy_tail_lab"
+  "heavy_tail_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_tail_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

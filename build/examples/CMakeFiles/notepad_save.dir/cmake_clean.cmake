@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notepad_save.dir/notepad_save.cpp.o"
+  "CMakeFiles/notepad_save.dir/notepad_save.cpp.o.d"
+  "notepad_save"
+  "notepad_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notepad_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

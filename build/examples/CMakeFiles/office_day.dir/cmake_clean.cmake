@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_day.dir/office_day.cpp.o"
+  "CMakeFiles/office_day.dir/office_day.cpp.o.d"
+  "office_day"
+  "office_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

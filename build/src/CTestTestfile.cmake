@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("stats")
+subdirs("sim")
+subdirs("ntio")
+subdirs("mm")
+subdirs("fs")
+subdirs("win32")
+subdirs("trace")
+subdirs("tracedb")
+subdirs("workload")
+subdirs("analysis")
+subdirs("study")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access_patterns.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/access_patterns.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/access_patterns.cc.o.d"
+  "/root/repo/src/analysis/burstiness.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/burstiness.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/burstiness.cc.o.d"
+  "/root/repo/src/analysis/cache_analysis.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/cache_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/cache_analysis.cc.o.d"
+  "/root/repo/src/analysis/fastio.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/fastio.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/fastio.cc.o.d"
+  "/root/repo/src/analysis/lifetimes.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/lifetimes.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/lifetimes.cc.o.d"
+  "/root/repo/src/analysis/operations.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/operations.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/operations.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/patterns.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/patterns.cc.o.d"
+  "/root/repo/src/analysis/process_profile.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/process_profile.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/process_profile.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/sessions.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/sessions.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/sessions.cc.o.d"
+  "/root/repo/src/analysis/snapshot_analysis.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/snapshot_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/snapshot_analysis.cc.o.d"
+  "/root/repo/src/analysis/user_activity.cc" "src/analysis/CMakeFiles/ntrace_analysis.dir/user_activity.cc.o" "gcc" "src/analysis/CMakeFiles/ntrace_analysis.dir/user_activity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ntrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracedb/CMakeFiles/ntrace_tracedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ntrace_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ntrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_analysis.dir/access_patterns.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/access_patterns.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/burstiness.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/burstiness.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/cache_analysis.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/cache_analysis.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/fastio.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/fastio.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/lifetimes.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/lifetimes.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/operations.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/operations.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/patterns.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/patterns.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/process_profile.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/process_profile.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/report.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/report.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/sessions.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/sessions.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/snapshot_analysis.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/snapshot_analysis.cc.o.d"
+  "CMakeFiles/ntrace_analysis.dir/user_activity.cc.o"
+  "CMakeFiles/ntrace_analysis.dir/user_activity.cc.o.d"
+  "libntrace_analysis.a"
+  "libntrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

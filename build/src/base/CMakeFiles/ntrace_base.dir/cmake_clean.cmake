@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_base.dir/format.cc.o"
+  "CMakeFiles/ntrace_base.dir/format.cc.o.d"
+  "CMakeFiles/ntrace_base.dir/rng.cc.o"
+  "CMakeFiles/ntrace_base.dir/rng.cc.o.d"
+  "CMakeFiles/ntrace_base.dir/time.cc.o"
+  "CMakeFiles/ntrace_base.dir/time.cc.o.d"
+  "libntrace_base.a"
+  "libntrace_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

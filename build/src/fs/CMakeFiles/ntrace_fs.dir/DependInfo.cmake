@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/disk.cc" "src/fs/CMakeFiles/ntrace_fs.dir/disk.cc.o" "gcc" "src/fs/CMakeFiles/ntrace_fs.dir/disk.cc.o.d"
+  "/root/repo/src/fs/file_node.cc" "src/fs/CMakeFiles/ntrace_fs.dir/file_node.cc.o" "gcc" "src/fs/CMakeFiles/ntrace_fs.dir/file_node.cc.o.d"
+  "/root/repo/src/fs/fs_driver.cc" "src/fs/CMakeFiles/ntrace_fs.dir/fs_driver.cc.o" "gcc" "src/fs/CMakeFiles/ntrace_fs.dir/fs_driver.cc.o.d"
+  "/root/repo/src/fs/redirector.cc" "src/fs/CMakeFiles/ntrace_fs.dir/redirector.cc.o" "gcc" "src/fs/CMakeFiles/ntrace_fs.dir/redirector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ntrace_mm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_fs.dir/disk.cc.o"
+  "CMakeFiles/ntrace_fs.dir/disk.cc.o.d"
+  "CMakeFiles/ntrace_fs.dir/file_node.cc.o"
+  "CMakeFiles/ntrace_fs.dir/file_node.cc.o.d"
+  "CMakeFiles/ntrace_fs.dir/fs_driver.cc.o"
+  "CMakeFiles/ntrace_fs.dir/fs_driver.cc.o.d"
+  "CMakeFiles/ntrace_fs.dir/redirector.cc.o"
+  "CMakeFiles/ntrace_fs.dir/redirector.cc.o.d"
+  "libntrace_fs.a"
+  "libntrace_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

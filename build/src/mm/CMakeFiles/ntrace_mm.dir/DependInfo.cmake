@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/cache_manager.cc" "src/mm/CMakeFiles/ntrace_mm.dir/cache_manager.cc.o" "gcc" "src/mm/CMakeFiles/ntrace_mm.dir/cache_manager.cc.o.d"
+  "/root/repo/src/mm/page_store.cc" "src/mm/CMakeFiles/ntrace_mm.dir/page_store.cc.o" "gcc" "src/mm/CMakeFiles/ntrace_mm.dir/page_store.cc.o.d"
+  "/root/repo/src/mm/vm_manager.cc" "src/mm/CMakeFiles/ntrace_mm.dir/vm_manager.cc.o" "gcc" "src/mm/CMakeFiles/ntrace_mm.dir/vm_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

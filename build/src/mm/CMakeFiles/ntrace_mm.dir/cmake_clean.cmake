@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_mm.dir/cache_manager.cc.o"
+  "CMakeFiles/ntrace_mm.dir/cache_manager.cc.o.d"
+  "CMakeFiles/ntrace_mm.dir/page_store.cc.o"
+  "CMakeFiles/ntrace_mm.dir/page_store.cc.o.d"
+  "CMakeFiles/ntrace_mm.dir/vm_manager.cc.o"
+  "CMakeFiles/ntrace_mm.dir/vm_manager.cc.o.d"
+  "libntrace_mm.a"
+  "libntrace_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

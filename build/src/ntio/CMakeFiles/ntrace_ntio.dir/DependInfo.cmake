@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntio/driver.cc" "src/ntio/CMakeFiles/ntrace_ntio.dir/driver.cc.o" "gcc" "src/ntio/CMakeFiles/ntrace_ntio.dir/driver.cc.o.d"
+  "/root/repo/src/ntio/io_manager.cc" "src/ntio/CMakeFiles/ntrace_ntio.dir/io_manager.cc.o" "gcc" "src/ntio/CMakeFiles/ntrace_ntio.dir/io_manager.cc.o.d"
+  "/root/repo/src/ntio/irp.cc" "src/ntio/CMakeFiles/ntrace_ntio.dir/irp.cc.o" "gcc" "src/ntio/CMakeFiles/ntrace_ntio.dir/irp.cc.o.d"
+  "/root/repo/src/ntio/process.cc" "src/ntio/CMakeFiles/ntrace_ntio.dir/process.cc.o" "gcc" "src/ntio/CMakeFiles/ntrace_ntio.dir/process.cc.o.d"
+  "/root/repo/src/ntio/status.cc" "src/ntio/CMakeFiles/ntrace_ntio.dir/status.cc.o" "gcc" "src/ntio/CMakeFiles/ntrace_ntio.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_ntio.dir/driver.cc.o"
+  "CMakeFiles/ntrace_ntio.dir/driver.cc.o.d"
+  "CMakeFiles/ntrace_ntio.dir/io_manager.cc.o"
+  "CMakeFiles/ntrace_ntio.dir/io_manager.cc.o.d"
+  "CMakeFiles/ntrace_ntio.dir/irp.cc.o"
+  "CMakeFiles/ntrace_ntio.dir/irp.cc.o.d"
+  "CMakeFiles/ntrace_ntio.dir/process.cc.o"
+  "CMakeFiles/ntrace_ntio.dir/process.cc.o.d"
+  "CMakeFiles/ntrace_ntio.dir/status.cc.o"
+  "CMakeFiles/ntrace_ntio.dir/status.cc.o.d"
+  "libntrace_ntio.a"
+  "libntrace_ntio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_ntio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

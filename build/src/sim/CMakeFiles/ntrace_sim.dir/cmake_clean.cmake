@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_sim.dir/engine.cc.o"
+  "CMakeFiles/ntrace_sim.dir/engine.cc.o.d"
+  "libntrace_sim.a"
+  "libntrace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

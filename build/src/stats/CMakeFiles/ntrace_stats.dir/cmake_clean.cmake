@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ntrace_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ntrace_stats.dir/distributions.cc.o"
+  "CMakeFiles/ntrace_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/ntrace_stats.dir/tails.cc.o"
+  "CMakeFiles/ntrace_stats.dir/tails.cc.o.d"
+  "libntrace_stats.a"
+  "libntrace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

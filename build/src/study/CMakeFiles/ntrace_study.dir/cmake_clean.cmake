@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_study.dir/study.cc.o"
+  "CMakeFiles/ntrace_study.dir/study.cc.o.d"
+  "libntrace_study.a"
+  "libntrace_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

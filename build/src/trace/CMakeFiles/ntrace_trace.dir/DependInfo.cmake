@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/collection_server.cc" "src/trace/CMakeFiles/ntrace_trace.dir/collection_server.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/collection_server.cc.o.d"
+  "/root/repo/src/trace/snapshot.cc" "src/trace/CMakeFiles/ntrace_trace.dir/snapshot.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/snapshot.cc.o.d"
+  "/root/repo/src/trace/trace_agent.cc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_agent.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_agent.cc.o.d"
+  "/root/repo/src/trace/trace_buffer.cc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_buffer.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_buffer.cc.o.d"
+  "/root/repo/src/trace/trace_filter.cc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_filter.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_filter.cc.o.d"
+  "/root/repo/src/trace/trace_record.cc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_record.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_record.cc.o.d"
+  "/root/repo/src/trace/trace_set.cc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_set.cc.o" "gcc" "src/trace/CMakeFiles/ntrace_trace.dir/trace_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ntrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ntrace_mm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

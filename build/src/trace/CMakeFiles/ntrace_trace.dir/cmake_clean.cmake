@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_trace.dir/collection_server.cc.o"
+  "CMakeFiles/ntrace_trace.dir/collection_server.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/snapshot.cc.o"
+  "CMakeFiles/ntrace_trace.dir/snapshot.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/trace_agent.cc.o"
+  "CMakeFiles/ntrace_trace.dir/trace_agent.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/trace_buffer.cc.o"
+  "CMakeFiles/ntrace_trace.dir/trace_buffer.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/trace_filter.cc.o"
+  "CMakeFiles/ntrace_trace.dir/trace_filter.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/trace_record.cc.o"
+  "CMakeFiles/ntrace_trace.dir/trace_record.cc.o.d"
+  "CMakeFiles/ntrace_trace.dir/trace_set.cc.o"
+  "CMakeFiles/ntrace_trace.dir/trace_set.cc.o.d"
+  "libntrace_trace.a"
+  "libntrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_tracedb.dir/dimensions.cc.o"
+  "CMakeFiles/ntrace_tracedb.dir/dimensions.cc.o.d"
+  "CMakeFiles/ntrace_tracedb.dir/instance_table.cc.o"
+  "CMakeFiles/ntrace_tracedb.dir/instance_table.cc.o.d"
+  "libntrace_tracedb.a"
+  "libntrace_tracedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_tracedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/win32/win32_api.cc" "src/win32/CMakeFiles/ntrace_win32.dir/win32_api.cc.o" "gcc" "src/win32/CMakeFiles/ntrace_win32.dir/win32_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntrace_win32.dir/win32_api.cc.o"
+  "CMakeFiles/ntrace_win32.dir/win32_api.cc.o.d"
+  "libntrace_win32.a"
+  "libntrace_win32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntrace_win32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_model.cc" "src/workload/CMakeFiles/ntrace_workload.dir/app_model.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/app_model.cc.o.d"
+  "/root/repo/src/workload/browser.cc" "src/workload/CMakeFiles/ntrace_workload.dir/browser.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/browser.cc.o.d"
+  "/root/repo/src/workload/compiler.cc" "src/workload/CMakeFiles/ntrace_workload.dir/compiler.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/compiler.cc.o.d"
+  "/root/repo/src/workload/database.cc" "src/workload/CMakeFiles/ntrace_workload.dir/database.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/database.cc.o.d"
+  "/root/repo/src/workload/explorer.cc" "src/workload/CMakeFiles/ntrace_workload.dir/explorer.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/explorer.cc.o.d"
+  "/root/repo/src/workload/fleet.cc" "src/workload/CMakeFiles/ntrace_workload.dir/fleet.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/fleet.cc.o.d"
+  "/root/repo/src/workload/fs_image.cc" "src/workload/CMakeFiles/ntrace_workload.dir/fs_image.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/fs_image.cc.o.d"
+  "/root/repo/src/workload/io_helpers.cc" "src/workload/CMakeFiles/ntrace_workload.dir/io_helpers.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/io_helpers.cc.o.d"
+  "/root/repo/src/workload/java_tool.cc" "src/workload/CMakeFiles/ntrace_workload.dir/java_tool.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/java_tool.cc.o.d"
+  "/root/repo/src/workload/mail.cc" "src/workload/CMakeFiles/ntrace_workload.dir/mail.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/mail.cc.o.d"
+  "/root/repo/src/workload/monitor.cc" "src/workload/CMakeFiles/ntrace_workload.dir/monitor.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/monitor.cc.o.d"
+  "/root/repo/src/workload/namegen.cc" "src/workload/CMakeFiles/ntrace_workload.dir/namegen.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/namegen.cc.o.d"
+  "/root/repo/src/workload/notepad.cc" "src/workload/CMakeFiles/ntrace_workload.dir/notepad.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/notepad.cc.o.d"
+  "/root/repo/src/workload/office.cc" "src/workload/CMakeFiles/ntrace_workload.dir/office.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/office.cc.o.d"
+  "/root/repo/src/workload/scientific.cc" "src/workload/CMakeFiles/ntrace_workload.dir/scientific.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/scientific.cc.o.d"
+  "/root/repo/src/workload/services.cc" "src/workload/CMakeFiles/ntrace_workload.dir/services.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/services.cc.o.d"
+  "/root/repo/src/workload/simulated_system.cc" "src/workload/CMakeFiles/ntrace_workload.dir/simulated_system.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/simulated_system.cc.o.d"
+  "/root/repo/src/workload/winlogon.cc" "src/workload/CMakeFiles/ntrace_workload.dir/winlogon.cc.o" "gcc" "src/workload/CMakeFiles/ntrace_workload.dir/winlogon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ntrace_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ntrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/win32/CMakeFiles/ntrace_win32.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ntrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracedb/CMakeFiles/ntrace_tracedb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

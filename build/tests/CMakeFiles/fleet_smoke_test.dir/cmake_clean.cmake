@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_smoke_test.dir/fleet_smoke_test.cc.o"
+  "CMakeFiles/fleet_smoke_test.dir/fleet_smoke_test.cc.o.d"
+  "fleet_smoke_test"
+  "fleet_smoke_test.pdb"
+  "fleet_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_driver_test.dir/fs_driver_test.cc.o"
+  "CMakeFiles/fs_driver_test.dir/fs_driver_test.cc.o.d"
+  "fs_driver_test"
+  "fs_driver_test.pdb"
+  "fs_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntio_test.dir/ntio_test.cc.o"
+  "CMakeFiles/ntio_test.dir/ntio_test.cc.o.d"
+  "ntio_test"
+  "ntio_test.pdb"
+  "ntio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_profile_test.dir/process_profile_test.cc.o"
+  "CMakeFiles/process_profile_test.dir/process_profile_test.cc.o.d"
+  "process_profile_test"
+  "process_profile_test.pdb"
+  "process_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

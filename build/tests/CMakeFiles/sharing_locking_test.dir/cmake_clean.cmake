@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_locking_test.dir/sharing_locking_test.cc.o"
+  "CMakeFiles/sharing_locking_test.dir/sharing_locking_test.cc.o.d"
+  "sharing_locking_test"
+  "sharing_locking_test.pdb"
+  "sharing_locking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/ntrace_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ntrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ntrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracedb/CMakeFiles/ntrace_tracedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/win32/CMakeFiles/ntrace_win32.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ntrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ntrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ntrace_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntio/CMakeFiles/ntrace_ntio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntrace_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ntrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

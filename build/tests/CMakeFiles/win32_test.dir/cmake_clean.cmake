@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/win32_test.dir/win32_test.cc.o"
+  "CMakeFiles/win32_test.dir/win32_test.cc.o.d"
+  "win32_test"
+  "win32_test.pdb"
+  "win32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/win32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/ntio_test[1]_include.cmake")
+include("/root/repo/build/tests/page_store_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/win32_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/tracedb_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/study_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_locking_test[1]_include.cmake")
+include("/root/repo/build/tests/process_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
