@@ -65,6 +65,11 @@ void Run() {
                 "Hill estimator sweep");
 
   report.Print();
+
+  // Collection-pipeline accounting for the run behind the table (all
+  // records collected or unresolved here -- the standard study injects no
+  // faults).
+  PrintIntegrityReport(study.integrity());
 }
 
 }  // namespace

@@ -82,4 +82,40 @@ void PrintArrivalComparison(const std::string& title, const std::vector<double>&
   }
 }
 
+void PrintIntegrityReport(const IntegrityReport& report) {
+  std::printf("\n=== Collection pipeline integrity ===\n");
+  if (report.systems.empty()) {
+    std::printf("  (no streams)\n");
+    return;
+  }
+  auto row_of = [](const std::string& label, const SystemIntegrity& s) {
+    return std::vector<std::string>{
+        label,
+        std::to_string(s.records_emitted),
+        std::to_string(s.records_collected),
+        std::to_string(s.records_overflow_dropped),
+        std::to_string(s.records_shed),
+        std::to_string(s.records_lost),
+        std::to_string(s.records_unresolved),
+        std::to_string(s.duplicate_records_discarded),
+        std::to_string(s.sequence_gaps),
+        std::to_string(s.shipment_attempts),
+        std::to_string(s.shipments_abandoned),
+        FormatPct(s.CollectedFraction()),
+        s.Accounted() ? "yes" : "NO",
+    };
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const SystemIntegrity& s : report.systems) {
+    rows.push_back(row_of("sys " + std::to_string(s.system_id), s));
+  }
+  const SystemIntegrity totals = report.Totals();
+  rows.push_back(row_of("total", totals));
+  std::printf("%s", RenderTable({"system", "emitted", "collected", "dropped", "shed", "lost",
+                                 "unresolved", "dup-discard", "gaps", "attempts", "abandoned",
+                                 "coll%", "accounted"},
+                                rows)
+                        .c_str());
+}
+
 }  // namespace ntrace

@@ -9,6 +9,7 @@
 
 #include "src/stats/descriptive.h"
 #include "src/stats/tails.h"
+#include "src/trace/integrity.h"
 
 namespace ntrace {
 
@@ -45,6 +46,10 @@ void PrintLlcd(const std::string& title, const LlcdSeries& series, size_t max_ro
 // Prints side-by-side per-interval counts (figure-8 style), decimated.
 void PrintArrivalComparison(const std::string& title, const std::vector<double>& trace_counts,
                             const std::vector<double>& poisson_counts, size_t max_rows = 16);
+
+// Prints the per-system collection-pipeline accounting plus a totals row;
+// the final column flags any system whose records are not fully accounted.
+void PrintIntegrityReport(const IntegrityReport& report);
 
 }  // namespace ntrace
 

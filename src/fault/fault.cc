@@ -1,0 +1,81 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+
+namespace ntrace {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kShipment:
+      return "shipment";
+    case FaultSite::kDiskRead:
+      return "disk-read";
+    case FaultSite::kDiskWrite:
+      return "disk-write";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Independent per-site streams: seed each site's Rng from (seed, site index)
+// through the same SplitMix-style scramble Rng::Seed applies, offset by a
+// large odd constant so adjacent sites never alias.
+uint64_t SiteSeed(uint64_t seed, size_t site) {
+  return seed + 0x9E3779B97F4A7C15ULL * (site + 1);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) {
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    sites_[i].rng.Seed(SiteSeed(seed, i));
+  }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, uint64_t stream)
+    : FaultInjector(config.seed + 0xBF58476D1CE4E5B9ULL * stream) {
+  SetPlan(FaultSite::kShipment, config.shipment);
+  SetPlan(FaultSite::kDiskRead, config.disk_read);
+  SetPlan(FaultSite::kDiskWrite, config.disk_write);
+}
+
+void FaultInjector::SetPlan(FaultSite site, FaultPlan plan) {
+  site_(site).plan = std::move(plan);
+}
+
+FaultOutcome FaultInjector::Evaluate(FaultSite site, SimTime now) {
+  SiteState& s = site_(site);
+  if (!s.plan.enabled()) {
+    return {};
+  }
+  ++s.evaluations;
+
+  // Hard outages fail deterministically: the link/device is down, nothing
+  // was delivered, no randomness involved.
+  for (const auto& [start, end] : s.plan.outages) {
+    if (now >= start && now < end) {
+      ++s.injected;
+      return {true, false};
+    }
+  }
+
+  double p = s.plan.probability;
+  if (s.plan.burst_period.ticks() > 0 && s.plan.burst_length.ticks() > 0) {
+    const int64_t phase = now.ticks() % s.plan.burst_period.ticks();
+    if (phase < s.plan.burst_length.ticks()) {
+      p = std::max(p, s.plan.burst_probability);
+    }
+  }
+  FaultOutcome outcome;
+  outcome.fail = s.rng.Bernoulli(p);
+  if (outcome.fail) {
+    ++s.injected;
+    if (s.plan.ack_loss_fraction > 0.0) {
+      outcome.ack_lost = s.rng.Bernoulli(s.plan.ack_loss_fraction);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ntrace

@@ -1,0 +1,126 @@
+// Deterministic fault injection.
+//
+// The paper's collection pipeline ran unattended for four weeks on ~45
+// machines shipping ~190M records over a network, and its trace driver
+// carried explicit overflow detection (section 3.2) -- machinery that never
+// fires unless something in the pipeline can actually fail. This subsystem
+// provides the failures: a seeded, deterministic FaultInjector with one
+// FaultPlan per injection site (shipment link, disk reads, disk writes).
+// Plans combine a base per-operation probability, periodic burst windows of
+// elevated failure, and scheduled hard outages. Every draw comes from a
+// per-site RNG stream forked from one seed, so enabling a plan at one site
+// never perturbs the schedule of another, and the same seed always produces
+// the identical fault schedule (tests assert this).
+
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+
+namespace ntrace {
+
+// Where a fault can be injected.
+enum class FaultSite : uint8_t {
+  kShipment,   // Agent -> collection-server buffer shipment.
+  kDiskRead,   // Local media read (paging or non-cached).
+  kDiskWrite,  // Local media write (paging or non-cached).
+};
+constexpr int kNumFaultSites = 3;
+
+std::string_view FaultSiteName(FaultSite site);
+
+// The fault schedule of one site.
+struct FaultPlan {
+  // Base per-operation failure probability.
+  double probability = 0.0;
+
+  // Periodic burst windows: within [k*period, k*period + length) the failure
+  // probability is raised to burst_probability. A zero period disables bursts.
+  SimDuration burst_period{};
+  SimDuration burst_length{};
+  double burst_probability = 1.0;
+
+  // Scheduled hard outages: inside any [start, end) window every operation
+  // fails unconditionally (no randomness -- models a dead link/device).
+  std::vector<std::pair<SimTime, SimTime>> outages;
+
+  // Shipment site only: fraction of injected failures where the payload was
+  // actually delivered but the acknowledgement was lost, so the sender
+  // retries and the receiver sees a duplicate sequence number.
+  double ack_loss_fraction = 0.0;
+
+  bool enabled() const {
+    return probability > 0.0 ||
+           (burst_period.ticks() > 0 && burst_length.ticks() > 0 && burst_probability > 0.0) ||
+           !outages.empty();
+  }
+};
+
+// Result of evaluating one operation against a site's plan.
+struct FaultOutcome {
+  bool fail = false;
+  // Only meaningful when fail: the operation succeeded on the far side but
+  // the initiator observes a failure (lost acknowledgement).
+  bool ack_lost = false;
+};
+
+// Per-fleet fault schedule: one plan per site plus the fault-stream seed.
+// Strictly opt-in -- a default-constructed config injects nothing and causes
+// zero RNG draws, so runs without faults are bit-identical to runs that
+// predate the fault layer.
+struct FaultConfig {
+  uint64_t seed = 0xFA17;
+  FaultPlan shipment;
+  FaultPlan disk_read;
+  FaultPlan disk_write;
+
+  bool enabled() const {
+    return shipment.enabled() || disk_read.enabled() || disk_write.enabled();
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xFA17);
+  // Builds an injector carrying the config's plans, seeded per `stream` (the
+  // fleet passes the system id so every machine gets an independent stream).
+  FaultInjector(const FaultConfig& config, uint64_t stream);
+
+  void SetPlan(FaultSite site, FaultPlan plan);
+  const FaultPlan& plan(FaultSite site) const { return site_(site).plan; }
+  bool enabled(FaultSite site) const { return site_(site).plan.enabled(); }
+
+  // Evaluates one operation at simulated time `now`. Deterministic: the
+  // outcome is a pure function of (seed, site, call index, now).
+  FaultOutcome Evaluate(FaultSite site, SimTime now);
+  bool ShouldFail(FaultSite site, SimTime now) { return Evaluate(site, now).fail; }
+
+  uint64_t evaluations(FaultSite site) const { return site_(site).evaluations; }
+  uint64_t injected(FaultSite site) const { return site_(site).injected; }
+
+ private:
+  struct SiteState {
+    FaultPlan plan;
+    Rng rng;
+    uint64_t evaluations = 0;
+    uint64_t injected = 0;
+  };
+
+  const SiteState& site_(FaultSite site) const {
+    return sites_[static_cast<size_t>(site)];
+  }
+  SiteState& site_(FaultSite site) { return sites_[static_cast<size_t>(site)]; }
+
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_FAULT_FAULT_H_

@@ -31,6 +31,12 @@ DiskProfile DiskProfile::Server() {
 
 Disk::Disk(DiskProfile profile, uint64_t rng_seed) : profile_(profile), rng_(rng_seed) {}
 
+SimDuration Disk::FailedAccess() {
+  ++io_errors_;
+  head_position_ = UINT64_MAX;  // Park: the next access pays full positioning.
+  return profile_.controller_overhead;
+}
+
 SimDuration Disk::Access(uint64_t position, uint64_t bytes, bool write) {
   SimDuration latency = profile_.controller_overhead;
   if (position == head_position_) {

@@ -40,11 +40,17 @@ class Disk {
   // A request that starts where the previous one ended skips positioning.
   SimDuration Access(uint64_t position, uint64_t bytes, bool write);
 
+  // A request the device errored (fault injection): the transfer never
+  // happened, only the controller handshake was paid, and the head state is
+  // unknown afterwards (the next access repositions).
+  SimDuration FailedAccess();
+
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t sequential_hits() const { return sequential_hits_; }
+  uint64_t io_errors() const { return io_errors_; }
 
  private:
   DiskProfile profile_;
@@ -56,6 +62,7 @@ class Disk {
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t sequential_hits_ = 0;
+  uint64_t io_errors_ = 0;
 };
 
 }  // namespace ntrace

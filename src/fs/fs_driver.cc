@@ -45,6 +45,23 @@ SimDuration FileSystemDriver::MediaAccess(FileNode* node, uint64_t offset, uint6
   return disk_.Access(node->disk_position + offset, bytes, write);
 }
 
+bool FileSystemDriver::InjectMediaFault(bool write) {
+  if (fault_injector_ == nullptr) {
+    return false;
+  }
+  const FaultSite site = write ? FaultSite::kDiskWrite : FaultSite::kDiskRead;
+  if (!fault_injector_->ShouldFail(site, engine_.Now())) {
+    return false;
+  }
+  engine_.AdvanceBy(disk_.FailedAccess());
+  if (write) {
+    ++stats_.injected_write_errors;
+  } else {
+    ++stats_.injected_read_errors;
+  }
+  return true;
+}
+
 SimDuration FileSystemDriver::MetadataAccess(size_t path_components) {
   return options_.metadata_cost_per_component * static_cast<int64_t>(std::max<size_t>(
              path_components, 1));
@@ -237,6 +254,9 @@ NtStatus FileSystemDriver::HandleRead(Irp& irp) {
       return Complete(irp, NtStatus::kEndOfFile);
     }
     length = std::min(length, limit - offset);
+    if (InjectMediaFault(/*write=*/false)) {
+      return Complete(irp, NtStatus::kDeviceDataError);
+    }
     engine_.AdvanceBy(MediaAccess(node, offset, length, /*write=*/false));
     ++stats_.paging_reads;
     stats_.media_read_bytes += length;
@@ -249,6 +269,9 @@ NtStatus FileSystemDriver::HandleRead(Irp& irp) {
   length = std::min(length, node->size - offset);
 
   if (fo.no_intermediate_buffering) {
+    if (InjectMediaFault(/*write=*/false)) {
+      return Complete(irp, NtStatus::kDeviceDataError);
+    }
     engine_.AdvanceBy(MediaAccess(node, offset, length, /*write=*/false));
     stats_.media_read_bytes += length;
   } else {
@@ -279,6 +302,9 @@ NtStatus FileSystemDriver::HandleWrite(Irp& irp) {
   if (irp.IsPagingIo()) {
     // Lazy writer / flush / mapped writer: straight to the media. The file
     // size was already settled by the cached write path.
+    if (InjectMediaFault(/*write=*/true)) {
+      return Complete(irp, NtStatus::kDeviceDataError);
+    }
     engine_.AdvanceBy(MediaAccess(node, offset, length, /*write=*/true));
     ++stats_.paging_writes;
     stats_.media_write_bytes += length;
@@ -286,6 +312,9 @@ NtStatus FileSystemDriver::HandleWrite(Irp& irp) {
   }
 
   if (fo.no_intermediate_buffering) {
+    if (InjectMediaFault(/*write=*/true)) {
+      return Complete(irp, NtStatus::kDeviceDataError);
+    }
     engine_.AdvanceBy(MediaAccess(node, offset, length, /*write=*/true));
     stats_.media_write_bytes += length;
     if (offset + length > node->size) {

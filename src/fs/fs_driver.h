@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "src/fault/fault.h"
 #include "src/fs/disk.h"
 #include "src/fs/file_node.h"
 #include "src/mm/cache_manager.h"
@@ -55,6 +56,9 @@ struct FsStats {
   uint64_t creates_overwritten = 0;
   uint64_t creates_superseded = 0;
   uint64_t deletes = 0;
+  // Fault injection: media transfers failed with a device error.
+  uint64_t injected_read_errors = 0;
+  uint64_t injected_write_errors = 0;
 };
 
 class FileSystemDriver : public Driver {
@@ -81,6 +85,11 @@ class FileSystemDriver : public Driver {
   const std::string& prefix() const { return prefix_; }
   const FsStats& stats() const { return stats_; }
   Disk& disk() { return disk_; }
+
+  // Attaches a fault injector (borrowed; may be null). Media transfers --
+  // paging I/O and non-cached reads/writes -- then fail with device errors
+  // per the injector's kDiskRead/kDiskWrite plans.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
 
  protected:
   // Media access time for `bytes` at file `node` offset `offset`. The
@@ -112,6 +121,9 @@ class FileSystemDriver : public Driver {
   FileNode* NodeOf(FileObject& file) const {
     return static_cast<FileNode*>(file.fs_context);
   }
+  // True when the injector fails this media transfer; charges the failed
+  // device handshake and counts the error.
+  bool InjectMediaFault(bool write);
   // IoCheckShareAccess: may this open coexist with the current holders?
   bool ShareAccessPermits(const FileNode& node, uint32_t desired_access,
                           uint32_t share_access) const;
@@ -129,6 +141,7 @@ class FileSystemDriver : public Driver {
   Disk disk_;
   FsOptions options_;
   FsStats stats_;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace ntrace

@@ -67,6 +67,18 @@ SharedCacheMap* CacheManager::FindMap(const void* node) {
   return it == maps_.end() ? nullptr : it->second.get();
 }
 
+NtStatus CacheManager::CallWithPagingRetry(SharedCacheMap& map, Irp& irp) {
+  // Mirrors the VM manager's bounded in-page retry: device errors are
+  // re-issued a few times before the transfer is declared failed.
+  NtStatus status = io_.CallDriver(map.device, irp);
+  for (int retry = 0; NtDeviceError(status) && retry < kPagingIoRetries; ++retry) {
+    ++stats_.paging_retries;
+    engine_.AdvanceBy(kPagingRetryDelay);
+    status = io_.CallDriver(map.device, irp);
+  }
+  return status;
+}
+
 void CacheManager::IssuePagingRead(SharedCacheMap& map, uint64_t offset, uint64_t length,
                                    uint32_t extra_flags) {
   Irp irp;
@@ -76,7 +88,11 @@ void CacheManager::IssuePagingRead(SharedCacheMap& map, uint64_t offset, uint64_
   irp.process_id = map.holder->process_id();
   irp.params.offset = offset;
   irp.params.length = static_cast<uint32_t>(length);
-  io_.CallDriver(map.device, irp);
+  if (NtDeviceError(CallWithPagingRetry(map, irp))) {
+    // The copy interface would raise to its caller; the failure is counted
+    // and the pages are treated as filled so cache state stays consistent.
+    ++stats_.paging_read_failures;
+  }
   const uint64_t first = PageIndex(offset);
   const uint64_t span = PageSpan(offset, length);
   for (uint64_t p = first; p < first + span; ++p) {
@@ -93,7 +109,13 @@ void CacheManager::IssuePagingWrite(SharedCacheMap& map, uint64_t offset, uint64
   irp.process_id = map.holder->process_id();
   irp.params.offset = offset;
   irp.params.length = static_cast<uint32_t>(length);
-  io_.CallDriver(map.device, irp);
+  if (NtDeviceError(CallWithPagingRetry(map, irp))) {
+    // Retries exhausted: the dirty data cannot reach the media. Discard and
+    // account for it (pages stay clean so teardown cannot loop forever on a
+    // dead device); dirty_pages_discarded already tracks purge-path loss.
+    ++stats_.paging_write_failures;
+    stats_.dirty_pages_discarded += PageSpan(offset, length);
+  }
   const uint64_t first = PageIndex(offset);
   const uint64_t span = PageSpan(offset, length);
   for (uint64_t p = first; p < first + span; ++p) {

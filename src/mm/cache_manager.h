@@ -91,6 +91,11 @@ struct CacheStats {
   uint64_t purges_with_dirty = 0;           // Section 6.3: overwrite/delete caught dirty data.
   uint64_t dirty_pages_discarded = 0;
   uint64_t temporary_pages_skipped = 0;  // Lazy-write work avoided by the temporary attribute.
+  // Device-error handling (fault injection): paging transfers the cache
+  // manager re-issued, and those that stayed failed after bounded retries.
+  uint64_t paging_retries = 0;
+  uint64_t paging_read_failures = 0;
+  uint64_t paging_write_failures = 0;  // The affected pages are discarded, counted, never silent.
 };
 
 // Per-node shared caching state (NT: SharedCacheMap). Owned by CacheManager.
@@ -113,6 +118,11 @@ class SharedCacheMap {
 
 class CacheManager {
  public:
+  // Bounded in-page retry of device-errored paging transfers (mirrors the
+  // VM manager's policy).
+  static constexpr int kPagingIoRetries = 3;
+  static constexpr SimDuration kPagingRetryDelay = SimDuration::Millis(2);
+
   CacheManager(Engine& engine, IoManager& io, CacheConfig config, uint64_t rng_seed = 0xCC);
 
   CacheManager(const CacheManager&) = delete;
@@ -185,6 +195,9 @@ class CacheManager {
   };
 
   SimDuration CopyCost(uint32_t bytes) const;
+  // Dispatches `irp`, re-issuing on device errors up to kPagingIoRetries
+  // times. Returns the final status.
+  NtStatus CallWithPagingRetry(SharedCacheMap& map, Irp& irp);
   // Issues one paging read IRP for [offset, offset+length) and marks pages
   // resident. `extra_flags` adds kIrpReadAhead for speculative loads.
   void IssuePagingRead(SharedCacheMap& map, uint64_t offset, uint64_t length,

@@ -25,6 +25,16 @@ uint64_t VmManager::CreateSection(FileObject& file, uint64_t size, bool image) {
   return id;
 }
 
+NtStatus VmManager::CallWithPagingRetry(FileObject& file, Irp& irp) {
+  NtStatus status = io_.CallDriver(file.device(), irp);
+  for (int retry = 0; NtDeviceError(status) && retry < kPagingIoRetries; ++retry) {
+    ++stats_.paging_retries;
+    engine_.AdvanceBy(kPagingRetryDelay);
+    status = io_.CallDriver(file.device(), irp);
+  }
+  return status;
+}
+
 void VmManager::IssuePagingRead(Section& s, uint64_t offset, uint64_t length) {
   Irp irp;
   irp.major = IrpMajor::kRead;
@@ -33,7 +43,13 @@ void VmManager::IssuePagingRead(Section& s, uint64_t offset, uint64_t length) {
   irp.process_id = s.file->process_id();
   irp.params.offset = offset;
   irp.params.length = static_cast<uint32_t>(length);
-  io_.CallDriver(s.file->device(), irp);
+  if (NtDeviceError(CallWithPagingRetry(*s.file, irp))) {
+    // Retries exhausted: NT would raise an in-page error in the faulting
+    // thread. The failure is counted, never silent; the pages are still
+    // mapped in so the workload can proceed (analyses see the errored IRPs
+    // in the trace).
+    ++stats_.paging_read_failures;
+  }
   ++stats_.fault_irps;
   stats_.fault_bytes += length;
 }
@@ -106,7 +122,9 @@ void VmManager::DeleteSection(uint64_t section_id) {
       irp.process_id = s.file->process_id();
       irp.params.offset = p * kPageSize;
       irp.params.length = static_cast<uint32_t>(kPageSize);
-      io_.CallDriver(s.file->device(), irp);
+      if (NtDeviceError(CallWithPagingRetry(*s.file, irp))) {
+        ++stats_.paging_write_failures;
+      }
       cache_.pages().MarkClean(s.node, p);
     }
   }

@@ -31,10 +31,20 @@ struct VmStats {
   uint64_t fault_bytes = 0;
   uint64_t pages_faulted = 0;
   uint64_t soft_faults = 0;  // Page was already resident (e.g. warm image restart).
+  // Device-error handling on paging transfers (fault injection): NT retries
+  // an in-page I/O a bounded number of times before raising the error.
+  uint64_t paging_retries = 0;
+  uint64_t paging_read_failures = 0;   // Retries exhausted on a paging read.
+  uint64_t paging_write_failures = 0;  // Retries exhausted on a section flush.
 };
 
 class VmManager {
  public:
+  // In-page device errors are retried this many times (one initial attempt
+  // plus kPagingIoRetries re-issues), with a short delay between attempts.
+  static constexpr int kPagingIoRetries = 3;
+  static constexpr SimDuration kPagingRetryDelay = SimDuration::Millis(2);
+
   VmManager(Engine& engine, IoManager& io, CacheManager& cache);
 
   VmManager(const VmManager&) = delete;
@@ -76,6 +86,9 @@ class VmManager {
 
  private:
   void IssuePagingRead(Section& s, uint64_t offset, uint64_t length);
+  // Dispatches `irp`, re-issuing on device errors up to kPagingIoRetries
+  // times. Returns the final status.
+  NtStatus CallWithPagingRetry(FileObject& file, Irp& irp);
 
   Engine& engine_;
   IoManager& io_;

@@ -42,6 +42,10 @@ std::string_view NtStatusName(NtStatus s) {
       return "DIRECTORY_NOT_EMPTY";
     case NtStatus::kLockNotGranted:
       return "LOCK_NOT_GRANTED";
+    case NtStatus::kDeviceDataError:
+      return "DEVICE_DATA_ERROR";
+    case NtStatus::kDeviceNotReady:
+      return "DEVICE_NOT_READY";
   }
   return "UNKNOWN";
 }

@@ -34,6 +34,10 @@ enum class NtStatus {
   kCannotDelete,         // E.g. delete of a read-only or mapped file.
   kDirectoryNotEmpty,
   kLockNotGranted,       // Conflicting byte-range lock.
+  // Device errors (fault injection: the media or its bus failed the
+  // request; retryable at the discretion of the issuer).
+  kDeviceDataError,      // Unrecoverable media error on the transfer.
+  kDeviceNotReady,       // Device transiently unavailable.
 };
 
 // True for kSuccess and warning statuses (NT_SUCCESS semantics: warnings are
@@ -44,6 +48,12 @@ constexpr bool NtSuccess(NtStatus s) {
 }
 
 constexpr bool NtError(NtStatus s) { return !NtSuccess(s); }
+
+// Device-level failures: the only errors the VM and cache managers retry
+// (a bounded number of times) before giving up on a paging transfer.
+constexpr bool NtDeviceError(NtStatus s) {
+  return s == NtStatus::kDeviceDataError || s == NtStatus::kDeviceNotReady;
+}
 
 std::string_view NtStatusName(NtStatus s);
 

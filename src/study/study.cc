@@ -44,6 +44,11 @@ CacheStats Study::total_cache_stats() const {
   return result_->TotalCache();
 }
 
+const IntegrityReport& Study::integrity() const {
+  assert(result_.has_value());
+  return result_->integrity;
+}
+
 const UserActivityResult& Study::UserActivity() {
   if (!user_activity_.has_value()) {
     user_activity_ = UserActivityAnalyzer::Analyze(trace());

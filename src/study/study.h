@@ -59,6 +59,7 @@ class Study {
   const InstanceTable& instances();       // Built over app_trace().
   const std::vector<SystemRunStats>& systems() const;
   CacheStats total_cache_stats() const;
+  const IntegrityReport& integrity() const;  // Pipeline accounting per system.
 
   // --- Analyses (memoized) ----------------------------------------------------
   const UserActivityResult& UserActivity();      // Table 2.

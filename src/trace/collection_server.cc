@@ -1,5 +1,7 @@
 #include "src/trace/collection_server.h"
 
+#include <algorithm>
+
 namespace ntrace {
 
 void CollectionServer::DeliverRecords(std::vector<TraceRecord> records) {
@@ -7,7 +9,48 @@ void CollectionServer::DeliverRecords(std::vector<TraceRecord> records) {
   set_.records.insert(set_.records.end(), records.begin(), records.end());
 }
 
+void CollectionServer::DeliverShipment(const ShipmentHeader& header,
+                                       std::vector<TraceRecord> records) {
+  ++deliveries_;
+  StreamState& stream = streams_[header.system_id];
+  ++stream.shipments_received;
+  if (stream.Received(header.sequence)) {
+    // Duplicate: the agent retried a shipment whose acknowledgement was
+    // lost. Discard, count -- the records are already in the collection.
+    ++stream.duplicate_shipments;
+    stream.duplicate_records_discarded += records.size();
+    return;
+  }
+  if (header.sequence < stream.max_sequence) {
+    // A hole is being filled in: this sequence arrived after a later one
+    // (retried shipment overtaken by its successors).
+    ++stream.out_of_order_shipments;
+  }
+  stream.received.insert(header.sequence);
+  stream.max_sequence = std::max(stream.max_sequence, header.sequence);
+  stream.records_collected += records.size();
+  set_.records.insert(set_.records.end(), records.begin(), records.end());
+}
+
 void CollectionServer::DeliverName(NameRecord name) { set_.names.push_back(std::move(name)); }
+
+const CollectionServer::StreamState* CollectionServer::StreamOf(uint32_t system_id) const {
+  auto it = streams_.find(system_id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+void CollectionServer::FillIntegrity(SystemIntegrity* out) const {
+  const StreamState* stream = StreamOf(out->system_id);
+  if (stream == nullptr) {
+    return;
+  }
+  out->shipments_received = stream->shipments_received;
+  out->duplicate_shipments = stream->duplicate_shipments;
+  out->out_of_order_shipments = stream->out_of_order_shipments;
+  out->sequence_gaps = stream->MissingSequences();
+  out->records_collected = stream->records_collected;
+  out->duplicate_records_discarded = stream->duplicate_records_discarded;
+}
 
 TraceSet& CollectionServer::Finish() {
   if (!finished_) {

@@ -4,12 +4,22 @@
 // incoming event streams and store them in compressed formats for later
 // retrieval" (section 3). Here a single CollectionServer aggregates the
 // record streams of every traced system into a TraceSet.
+//
+// Shipments arrive sequence-numbered per system; the server tracks the
+// received-sequence set of every stream so it can dedupe duplicate
+// shipments (a retry whose original acknowledgement was lost), flag
+// out-of-order arrivals, and report the sequences that never arrived at
+// all. Legacy DeliverRecords deliveries (no header) bypass sequencing and
+// are simply appended, preserving the behaviour simple test sinks rely on.
 
 #ifndef SRC_TRACE_COLLECTION_SERVER_H_
 #define SRC_TRACE_COLLECTION_SERVER_H_
 
 #include <cstdint>
+#include <map>
+#include <unordered_set>
 
+#include "src/trace/integrity.h"
 #include "src/trace/trace_buffer.h"
 #include "src/trace/trace_set.h"
 
@@ -17,10 +27,29 @@ namespace ntrace {
 
 class CollectionServer final : public TraceSink {
  public:
+  // Per-system stream bookkeeping (server side of the integrity report).
+  struct StreamState {
+    uint64_t max_sequence = 0;
+    std::unordered_set<uint64_t> received;
+    uint64_t shipments_received = 0;
+    uint64_t duplicate_shipments = 0;
+    uint64_t out_of_order_shipments = 0;
+    uint64_t records_collected = 0;
+    uint64_t duplicate_records_discarded = 0;
+
+    // Sequences in [1, max_sequence] that never arrived.
+    uint64_t MissingSequences() const {
+      return max_sequence - static_cast<uint64_t>(received.size());
+    }
+    bool Received(uint64_t sequence) const { return received.count(sequence) != 0; }
+  };
+
   CollectionServer() = default;
 
   void DeliverRecords(std::vector<TraceRecord> records) override;
   void DeliverName(NameRecord name) override;
+  void DeliverShipment(const ShipmentHeader& header,
+                       std::vector<TraceRecord> records) override;
 
   // The aggregated collection (sorted by completion time on access).
   TraceSet& Finish();
@@ -28,8 +57,17 @@ class CollectionServer final : public TraceSink {
 
   uint64_t deliveries() const { return deliveries_; }
 
+  // Stream state of one system (nullptr if it never shipped with a header).
+  const StreamState* StreamOf(uint32_t system_id) const;
+  const std::map<uint32_t, StreamState>& streams() const { return streams_; }
+
+  // Copies the server-side counters into `out` for the stream of
+  // `out->system_id` (no-op fields stay zero for header-less streams).
+  void FillIntegrity(SystemIntegrity* out) const;
+
  private:
   TraceSet set_;
+  std::map<uint32_t, StreamState> streams_;
   uint64_t deliveries_ = 0;
   bool finished_ = false;
 };

@@ -1,0 +1,97 @@
+// End-to-end integrity accounting of the collection pipeline.
+//
+// Trace reconstruction at scale lives or dies on detecting and accounting
+// for gaps, duplicates and reordering in the collected streams. The fleet
+// merges the agent-side counters (what each machine emitted, shed, dropped,
+// abandoned) with the server-side counters (what actually arrived, deduped
+// and sequence-checked) into one report whose invariant is checked by tests
+// and surfaced by analysis/report:
+//
+//   records_emitted = records_collected + records_overflow_dropped
+//                     + records_shed + records_lost + records_unresolved
+//
+// i.e. every record an application generated is accounted for exactly once.
+
+#ifndef SRC_TRACE_INTEGRITY_H_
+#define SRC_TRACE_INTEGRITY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ntrace {
+
+struct SystemIntegrity {
+  uint32_t system_id = 0;
+
+  // Agent side.
+  uint64_t records_emitted = 0;           // Filter pushed into the buffer.
+  uint64_t records_overflow_dropped = 0;  // All buffers in flight (section 3.2).
+  uint64_t records_shed = 0;              // Sampled out while the link was backlogged.
+  uint64_t records_lost = 0;              // Abandoned shipments that never arrived.
+  uint64_t records_unresolved = 0;        // Still buffered/in flight at harvest.
+  uint64_t shipments_sent = 0;
+  uint64_t shipment_attempts = 0;
+  uint64_t shipment_failures = 0;
+  uint64_t shipments_abandoned = 0;
+  uint64_t peak_retry_backlog = 0;
+
+  // Server side.
+  uint64_t shipments_received = 0;  // Including duplicates.
+  uint64_t duplicate_shipments = 0;
+  uint64_t out_of_order_shipments = 0;
+  uint64_t sequence_gaps = 0;  // Sequences never received (holes at finish).
+  uint64_t records_collected = 0;
+  uint64_t duplicate_records_discarded = 0;
+
+  // True when the pipeline accounts for every emitted record.
+  bool Accounted() const {
+    return records_emitted == records_collected + records_overflow_dropped + records_shed +
+                                  records_lost + records_unresolved;
+  }
+  double CollectedFraction() const {
+    return records_emitted == 0
+               ? 1.0
+               : static_cast<double>(records_collected) / static_cast<double>(records_emitted);
+  }
+};
+
+struct IntegrityReport {
+  std::vector<SystemIntegrity> systems;
+
+  bool AllAccounted() const {
+    for (const SystemIntegrity& s : systems) {
+      if (!s.Accounted()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  SystemIntegrity Totals() const {
+    SystemIntegrity t;
+    for (const SystemIntegrity& s : systems) {
+      t.records_emitted += s.records_emitted;
+      t.records_overflow_dropped += s.records_overflow_dropped;
+      t.records_shed += s.records_shed;
+      t.records_lost += s.records_lost;
+      t.records_unresolved += s.records_unresolved;
+      t.shipments_sent += s.shipments_sent;
+      t.shipment_attempts += s.shipment_attempts;
+      t.shipment_failures += s.shipment_failures;
+      t.shipments_abandoned += s.shipments_abandoned;
+      t.peak_retry_backlog = t.peak_retry_backlog > s.peak_retry_backlog
+                                 ? t.peak_retry_backlog
+                                 : s.peak_retry_backlog;
+      t.shipments_received += s.shipments_received;
+      t.duplicate_shipments += s.duplicate_shipments;
+      t.out_of_order_shipments += s.out_of_order_shipments;
+      t.sequence_gaps += s.sequence_gaps;
+      t.records_collected += s.records_collected;
+      t.duplicate_records_discarded += s.duplicate_records_discarded;
+    }
+    return t;
+  }
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_TRACE_INTEGRITY_H_

@@ -3,8 +3,12 @@
 namespace ntrace {
 
 TraceAgent::TraceAgent(Engine& engine, IoManager& io, TraceSink& sink, uint32_t system_id,
-                       TraceFilterOptions filter_options)
-    : engine_(engine), io_(io), buffer_(engine, sink), system_id_(system_id) {
+                       TraceFilterOptions filter_options, ShipmentPolicy shipment_policy,
+                       FaultInjector* injector)
+    : engine_(engine),
+      io_(io),
+      buffer_(engine, sink, SimDuration::Micros(2), system_id, shipment_policy, injector),
+      system_id_(system_id) {
   filter_ = std::make_unique<TraceFilterDriver>(engine, buffer_, system_id, filter_options);
 }
 

@@ -28,8 +28,12 @@ namespace ntrace {
 
 class TraceAgent {
  public:
+  // `shipment_policy` and `injector` (optional, borrowed) configure the
+  // resilient shipment link of the record buffer; the defaults keep the
+  // link infallible and byte-identical to the pre-fault pipeline.
   TraceAgent(Engine& engine, IoManager& io, TraceSink& sink, uint32_t system_id,
-             TraceFilterOptions filter_options = {});
+             TraceFilterOptions filter_options = {}, ShipmentPolicy shipment_policy = {},
+             FaultInjector* injector = nullptr);
 
   TraceAgent(const TraceAgent&) = delete;
   TraceAgent& operator=(const TraceAgent&) = delete;

@@ -1,18 +1,38 @@
 #include "src/trace/trace_buffer.h"
 
+#include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace ntrace {
 
-TraceBuffer::TraceBuffer(Engine& engine, TraceSink& sink, SimDuration ship_latency_per_record)
-    : engine_(engine), sink_(sink), ship_latency_per_record_(ship_latency_per_record) {
+namespace {
+constexpr size_t kNoBuffer = static_cast<size_t>(-1);
+}  // namespace
+
+TraceBuffer::TraceBuffer(Engine& engine, TraceSink& sink, SimDuration ship_latency_per_record,
+                         uint32_t system_id, ShipmentPolicy policy, FaultInjector* injector)
+    : engine_(engine),
+      sink_(sink),
+      ship_latency_per_record_(ship_latency_per_record),
+      system_id_(system_id),
+      policy_(policy),
+      injector_(injector),
+      jitter_rng_(0x5B1FF7E2ULL + system_id) {
   for (auto& buf : buffers_) {
     buf.reserve(kRecordsPerBuffer);
   }
 }
 
 void TraceBuffer::Append(const TraceRecord& record) {
+  ++records_emitted_;
+  if (injector_ != nullptr && retry_backlog_ >= policy_.shed_watermark) {
+    // Load shedding: the link is backlogged, sample the incoming stream and
+    // account for every discard exactly.
+    if (!jitter_rng_.Bernoulli(policy_.shed_keep_probability)) {
+      ++records_shed_;
+      return;
+    }
+  }
   std::vector<TraceRecord>& buf = buffers_[active_];
   if (buf.size() >= kRecordsPerBuffer) {
     // Rotate: ship this buffer, find a free one.
@@ -45,15 +65,92 @@ void TraceBuffer::ShipBuffer(size_t index) {
   }
   in_flight_[index] = true;
   ++buffers_shipped_;
-  std::vector<TraceRecord> payload = std::move(buffers_[index]);
+  Shipment shipment;
+  shipment.header.system_id = system_id_;
+  shipment.header.sequence = next_sequence_++;
+  shipment.header.attempt = 1;
+  shipment.header.record_count = buffers_[index].size();
+  shipment.payload = std::move(buffers_[index]);
   buffers_[index].clear();
   buffers_[index].reserve(kRecordsPerBuffer);
   const SimDuration latency =
-      ship_latency_per_record_ * static_cast<int64_t>(payload.size());
-  engine_.Schedule(latency, [this, index, payload = std::move(payload)]() mutable {
-    sink_.DeliverRecords(std::move(payload));
-    in_flight_[index] = false;
+      ship_latency_per_record_ * static_cast<int64_t>(shipment.payload.size());
+  engine_.Schedule(latency, [this, index, shipment = std::move(shipment)]() mutable {
+    CompleteAttempt(std::move(shipment), index);
   });
+}
+
+void TraceBuffer::CompleteAttempt(Shipment shipment, size_t free_buffer_index) {
+  ++shipment_attempts_;
+  if (free_buffer_index != kNoBuffer) {
+    // The storage buffer is reusable as soon as the payload left the agent;
+    // a failed shipment lives on in the retry queue, not in the buffer.
+    in_flight_[free_buffer_index] = false;
+  }
+  const FaultOutcome outcome = injector_ != nullptr
+                                   ? injector_->Evaluate(FaultSite::kShipment, engine_.Now())
+                                   : FaultOutcome{};
+  if (!outcome.fail) {
+    if (shipment.header.attempt > 1) {
+      assert(retry_backlog_ > 0);
+      --retry_backlog_;
+    }
+    records_concluded_ += shipment.payload.size();
+    sink_.DeliverShipment(shipment.header, std::move(shipment.payload));
+    return;
+  }
+  ++shipment_failures_;
+  if (outcome.ack_lost) {
+    // The payload arrived, only the acknowledgement was lost: the server
+    // sees this sequence (and will see it again on retry -- its dedup path).
+    sink_.DeliverShipment(shipment.header, shipment.payload);
+  }
+  if (shipment.header.attempt == 1) {
+    ++retry_backlog_;
+    peak_retry_backlog_ = std::max(peak_retry_backlog_, retry_backlog_);
+  }
+  if (shipment.header.attempt >= policy_.max_attempts) {
+    Abandon(shipment);
+    --retry_backlog_;
+    return;
+  }
+  if (shipment.header.attempt == 1 && retry_backlog_ > policy_.retry_queue_limit) {
+    // Retry queue full: abandon immediately rather than grow without bound.
+    Abandon(shipment);
+    --retry_backlog_;
+    return;
+  }
+  ScheduleRetry(std::move(shipment));
+}
+
+void TraceBuffer::ScheduleRetry(Shipment shipment) {
+  // Exponential backoff, clamped, with multiplicative jitter.
+  const SimDuration base =
+      shipment.backoff.ticks() == 0
+          ? policy_.initial_backoff
+          : SimDuration::Ticks(std::min(
+                static_cast<double>(policy_.max_backoff.ticks()),
+                static_cast<double>(shipment.backoff.ticks()) * policy_.backoff_multiplier));
+  shipment.backoff = base;
+  const double scale =
+      policy_.jitter > 0.0
+          ? jitter_rng_.UniformReal(1.0 - policy_.jitter, 1.0 + policy_.jitter)
+          : 1.0;
+  const SimDuration transmit =
+      ship_latency_per_record_ * static_cast<int64_t>(shipment.payload.size());
+  const SimDuration delay =
+      SimDuration::Ticks(static_cast<int64_t>(base.ticks() * scale)) + transmit;
+  ++shipment.header.attempt;
+  engine_.Schedule(delay, [this, shipment = std::move(shipment)]() mutable {
+    CompleteAttempt(std::move(shipment), kNoBuffer);
+  });
+}
+
+void TraceBuffer::Abandon(Shipment& shipment) {
+  ++shipments_abandoned_;
+  records_lost_ += shipment.payload.size();
+  records_concluded_ += shipment.payload.size();
+  abandoned_.emplace_back(shipment.header.sequence, shipment.payload.size());
 }
 
 void TraceBuffer::FlushAll() {

@@ -84,6 +84,8 @@ FleetResult RunFleet(const FleetConfig& config) {
       options.filter_options = config.filter_options;
       options.with_share = config.with_share;
       options.daily_snapshots = config.daily_snapshots;
+      options.fault_config = config.fault_config;
+      options.shipment_policy = config.shipment_policy;
 
       SimulatedSystem system(options, server);
       SystemRunStats stats = system.Run();
@@ -100,6 +102,35 @@ FleetResult RunFleet(const FleetConfig& config) {
   run_category(UsageCategory::kPersonal, config.personal);
   run_category(UsageCategory::kAdministrative, config.administrative);
   run_category(UsageCategory::kScientific, config.scientific);
+
+  // Merge agent-side counters with the server's sequence bookkeeping into
+  // the integrity report.
+  for (const SystemRunStats& s : result.systems) {
+    SystemIntegrity row;
+    row.system_id = s.system_id;
+    row.records_emitted = s.trace_emitted;
+    row.records_overflow_dropped = s.trace_drops;
+    row.records_shed = s.trace_shed;
+    row.records_lost = s.trace_lost;
+    row.records_unresolved = s.trace_unresolved;
+    row.shipments_sent = s.shipments_sent;
+    row.shipment_attempts = s.shipment_attempts;
+    row.shipment_failures = s.shipment_failures;
+    row.shipments_abandoned = s.shipments_abandoned;
+    row.peak_retry_backlog = s.peak_retry_backlog;
+    server.FillIntegrity(&row);
+    // An abandoned shipment whose payload did arrive (only the final
+    // acknowledgement was lost) is counted by both sides; it is collected,
+    // not lost.
+    if (const CollectionServer::StreamState* stream = server.StreamOf(s.system_id)) {
+      for (const auto& [sequence, count] : s.abandoned_shipments) {
+        if (stream->Received(sequence)) {
+          row.records_lost -= count;
+        }
+      }
+    }
+    result.integrity.systems.push_back(row);
+  }
 
   TraceSet& collected = server.Finish();
   result.trace.records = std::move(collected.records);

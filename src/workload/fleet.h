@@ -37,6 +37,11 @@ struct FleetConfig {
   TraceFilterOptions filter_options;
   bool with_share = true;
   bool daily_snapshots = true;
+  // Fault schedule applied to every system (each machine gets its own
+  // injector stream derived from fault_config.seed + system_id, so results
+  // are reproducible per system). Disabled by default.
+  FaultConfig fault_config;
+  ShipmentPolicy shipment_policy;
 
   int TotalSystems() const {
     return walk_up + pool + personal + administrative + scientific;
@@ -46,6 +51,12 @@ struct FleetConfig {
 struct FleetResult {
   TraceSet trace;  // Merged, time-sorted, with process names resolved.
   std::vector<SystemRunStats> systems;
+  // Per-system pipeline accounting (agent counters merged with the
+  // collection server's sequence bookkeeping, abandoned shipments
+  // reconciled against what actually arrived). Every emitted record is
+  // collected, overflow-dropped, shed, lost or unresolved -- AllAccounted()
+  // holds for clean and faulted runs alike.
+  IntegrityReport integrity;
 
   // Aggregates across systems.
   CacheStats TotalCache() const;

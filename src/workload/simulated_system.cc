@@ -88,10 +88,22 @@ void SimulatedSystem::BuildStacks() {
     builder.BuildShare(remote_fs_->volume(), share, engine_.Now(), &catalog_);
   }
 
+  // Fault injection (opt-in): each system gets an independent fault stream
+  // derived from the fault seed and its id, decoupled from the workload RNG
+  // so the generated activity is identical with and without faults.
+  if (options_.fault_config.enabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_config, options_.system_id);
+    if (fault_injector_->enabled(FaultSite::kDiskRead) ||
+        fault_injector_->enabled(FaultSite::kDiskWrite)) {
+      local_fs_->set_fault_injector(fault_injector_.get());
+    }
+  }
+
   // The trace agent attaches its filter on top of both stacks (section
   // 3.2); only the local volume is snapshotted.
   agent_ = std::make_unique<TraceAgent>(engine_, *io_, sink_, options_.system_id,
-                                        options_.filter_options);
+                                        options_.filter_options, options_.shipment_policy,
+                                        fault_injector_.get());
   agent_->AttachToVolume("C:", options_.daily_snapshots ? local_fs_.get() : nullptr);
   if (options_.with_share) {
     agent_->AttachToVolume(share, nullptr);
@@ -212,6 +224,12 @@ SystemRunStats SimulatedSystem::Run() {
   services_->OnSessionEnd();
   agent_->Flush();
   engine_.RunUntil(engine_.Now() + SimDuration::Seconds(30));
+  if (options_.fault_config.enabled()) {
+    // Final flush + drain so every shipment concludes (delivered or
+    // abandoned) before harvest; keeps the integrity identity exact.
+    agent_->Flush();
+    engine_.RunUntil(engine_.Now() + SimDuration::Seconds(30));
+  }
 
   SystemRunStats stats;
   stats.system_id = options_.system_id;
@@ -231,6 +249,21 @@ SystemRunStats SimulatedSystem::Run() {
   stats.trace_drops = agent_->buffer().records_dropped();
   stats.sessions_run = sessions_run_;
   stats.snapshots = agent_->snapshot_series();
+
+  const TraceBuffer& buffer = agent_->buffer();
+  stats.trace_emitted = buffer.records_emitted();
+  stats.trace_shed = buffer.records_shed();
+  stats.trace_lost = buffer.records_lost();
+  stats.trace_unresolved = buffer.records_unresolved();
+  stats.shipments_sent = buffer.buffers_shipped();
+  stats.shipment_attempts = buffer.shipment_attempts();
+  stats.shipment_failures = buffer.shipment_failures();
+  stats.shipments_abandoned = buffer.shipments_abandoned();
+  stats.peak_retry_backlog = buffer.peak_retry_backlog();
+  stats.abandoned_shipments = buffer.abandoned_shipments();
+  stats.disk_read_errors = stats.local_fs.injected_read_errors;
+  stats.disk_write_errors = stats.local_fs.injected_write_errors;
+  stats.paging_retries = stats.vm.paging_retries + stats.cache.paging_retries;
   return stats;
 }
 

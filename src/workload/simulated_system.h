@@ -12,8 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/fs/fs_driver.h"
 #include "src/fs/redirector.h"
 #include "src/mm/cache_manager.h"
@@ -53,6 +55,10 @@ struct SystemOptions {
   TraceFilterOptions filter_options;
   bool with_share = true;
   bool daily_snapshots = true;
+  // Fault schedule (strictly opt-in; a disabled config is byte-identical to
+  // no fault layer at all) and the shipment link's retry/shedding policy.
+  FaultConfig fault_config;
+  ShipmentPolicy shipment_policy;
 };
 
 // Post-run statistics harvested before the system is destroyed.
@@ -72,6 +78,22 @@ struct SystemRunStats {
   uint64_t trace_drops = 0;
   uint64_t sessions_run = 0;
   std::vector<SnapshotSeries> snapshots;
+
+  // Pipeline-resilience counters (all zero in fault-free runs).
+  uint64_t trace_emitted = 0;
+  uint64_t trace_shed = 0;
+  uint64_t trace_lost = 0;
+  uint64_t trace_unresolved = 0;
+  uint64_t shipments_sent = 0;
+  uint64_t shipment_attempts = 0;
+  uint64_t shipment_failures = 0;
+  uint64_t shipments_abandoned = 0;
+  uint64_t peak_retry_backlog = 0;
+  // Abandoned (sequence, record_count) pairs for server-side reconciliation.
+  std::vector<std::pair<uint64_t, uint64_t>> abandoned_shipments;
+  uint64_t disk_read_errors = 0;
+  uint64_t disk_write_errors = 0;
+  uint64_t paging_retries = 0;
 };
 
 class SimulatedSystem {
@@ -113,6 +135,7 @@ class SimulatedSystem {
   std::unique_ptr<FileSystemDriver> local_fs_;
   std::unique_ptr<RedirectorDriver> remote_fs_;
   std::vector<std::unique_ptr<DeviceObject>> devices_;
+  std::unique_ptr<FaultInjector> fault_injector_;  // Null when faults are off.
   std::unique_ptr<TraceAgent> agent_;
   ImageCatalog catalog_;
   SystemContext ctx_;

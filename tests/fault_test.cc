@@ -1,0 +1,171 @@
+// Unit + integration tests: src/fault -- deterministic fault schedules,
+// per-site stream independence, and the end-to-end integrity accounting of
+// a fleet run under injected shipment and disk faults.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/tracedb/instance_table.h"
+#include "src/workload/fleet.h"
+
+namespace ntrace {
+namespace {
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.probability = 0.3;
+  FaultInjector a(123);
+  FaultInjector b(123);
+  FaultInjector c(456);
+  a.SetPlan(FaultSite::kShipment, plan);
+  b.SetPlan(FaultSite::kShipment, plan);
+  c.SetPlan(FaultSite::kShipment, plan);
+  int differs_from_c = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = SimTime() + SimDuration::Millis(i);
+    const bool fail_a = a.ShouldFail(FaultSite::kShipment, t);
+    EXPECT_EQ(fail_a, b.ShouldFail(FaultSite::kShipment, t));
+    differs_from_c += fail_a != c.ShouldFail(FaultSite::kShipment, t);
+  }
+  EXPECT_GT(a.injected(FaultSite::kShipment), 0u);
+  EXPECT_EQ(a.injected(FaultSite::kShipment), b.injected(FaultSite::kShipment));
+  EXPECT_GT(differs_from_c, 0);  // A different seed gives a different schedule.
+}
+
+TEST(FaultInjector, DisabledPlanNeverFailsAndDrawsNothing) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kDiskRead, SimTime() + SimDuration::Seconds(i)));
+  }
+  EXPECT_EQ(injector.evaluations(FaultSite::kDiskRead), 0u);
+  EXPECT_EQ(injector.injected(FaultSite::kDiskRead), 0u);
+}
+
+TEST(FaultInjector, SitesAreIndependentStreams) {
+  // Enabling a plan at one site must not perturb another site's schedule.
+  FaultPlan shipment;
+  shipment.probability = 0.25;
+  FaultPlan disk;
+  disk.probability = 0.5;
+  FaultInjector only_shipment(99);
+  only_shipment.SetPlan(FaultSite::kShipment, shipment);
+  FaultInjector both(99);
+  both.SetPlan(FaultSite::kShipment, shipment);
+  both.SetPlan(FaultSite::kDiskWrite, disk);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = SimTime() + SimDuration::Millis(i);
+    EXPECT_EQ(only_shipment.ShouldFail(FaultSite::kShipment, t),
+              both.ShouldFail(FaultSite::kShipment, t));
+    both.ShouldFail(FaultSite::kDiskWrite, t);  // Interleave the other stream.
+  }
+}
+
+TEST(FaultInjector, BurstWindowsElevateFailureProbability) {
+  FaultPlan plan;
+  plan.burst_period = SimDuration::Seconds(10);
+  plan.burst_length = SimDuration::Seconds(1);
+  plan.burst_probability = 1.0;
+  FaultInjector injector(7);
+  injector.SetPlan(FaultSite::kShipment, plan);
+  // Inside every burst window failure is certain; outside, probability is 0.
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kShipment, SimTime() + SimDuration::Millis(500)));
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kShipment, SimTime() + SimDuration::Seconds(5)));
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kShipment, SimTime() + SimDuration::Millis(10200)));
+}
+
+TEST(FaultInjector, OutagesFailUnconditionally) {
+  FaultPlan plan;
+  plan.outages.emplace_back(SimTime() + SimDuration::Seconds(10),
+                            SimTime() + SimDuration::Seconds(20));
+  FaultInjector injector(7);
+  injector.SetPlan(FaultSite::kDiskRead, plan);
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kDiskRead, SimTime() + SimDuration::Seconds(9)));
+  for (int s = 10; s < 20; ++s) {
+    EXPECT_TRUE(injector.ShouldFail(FaultSite::kDiskRead, SimTime() + SimDuration::Seconds(s)));
+  }
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kDiskRead, SimTime() + SimDuration::Seconds(20)));
+}
+
+// --- Fleet under faults -----------------------------------------------------
+
+FleetConfig FaultyConfig() {
+  FleetConfig config;
+  config.walk_up = 1;
+  config.pool = 1;
+  config.personal = 1;
+  config.administrative = 1;
+  config.scientific = 1;
+  config.days = 1;
+  config.seed = 7;
+  config.activity_scale = 0.3;
+  config.content_scale = 0.05;
+  config.fault_config.shipment.probability = 0.10;
+  config.fault_config.shipment.ack_loss_fraction = 0.25;
+  config.fault_config.disk_read.probability = 0.02;
+  config.fault_config.disk_write.probability = 0.02;
+  return config;
+}
+
+TEST(FaultFleet, CompletesAndAccountsForEveryRecord) {
+  const FleetResult result = RunFleet(FaultyConfig());
+  ASSERT_EQ(result.integrity.systems.size(), 5u);
+  EXPECT_TRUE(result.integrity.AllAccounted());
+  const SystemIntegrity totals = result.integrity.Totals();
+  EXPECT_GT(totals.records_emitted, 0u);
+  EXPECT_GT(totals.shipment_failures, 0u);
+  EXPECT_GT(totals.records_collected, 0u);
+  // Disk faults fired too and the cache/VM stacks absorbed them.
+  uint64_t disk_errors = 0;
+  uint64_t paging_retries = 0;
+  for (const SystemRunStats& s : result.systems) {
+    disk_errors += s.disk_read_errors + s.disk_write_errors;
+    paging_retries += s.paging_retries;
+  }
+  EXPECT_GT(disk_errors, 0u);
+  EXPECT_GT(paging_retries, 0u);
+  // The merged trace is still analyzable.
+  const InstanceTable table = InstanceTable::Build(result.trace);
+  EXPECT_GT(table.rows().size(), 100u);
+}
+
+TEST(FaultFleet, SameSeedReproducesExactCounts) {
+  const FleetResult a = RunFleet(FaultyConfig());
+  const FleetResult b = RunFleet(FaultyConfig());
+  ASSERT_EQ(a.integrity.systems.size(), b.integrity.systems.size());
+  for (size_t i = 0; i < a.integrity.systems.size(); ++i) {
+    const SystemIntegrity& x = a.integrity.systems[i];
+    const SystemIntegrity& y = b.integrity.systems[i];
+    EXPECT_EQ(x.records_emitted, y.records_emitted);
+    EXPECT_EQ(x.records_collected, y.records_collected);
+    EXPECT_EQ(x.records_shed, y.records_shed);
+    EXPECT_EQ(x.records_lost, y.records_lost);
+    EXPECT_EQ(x.records_unresolved, y.records_unresolved);
+    EXPECT_EQ(x.shipment_attempts, y.shipment_attempts);
+    EXPECT_EQ(x.shipment_failures, y.shipment_failures);
+    EXPECT_EQ(x.duplicate_shipments, y.duplicate_shipments);
+    EXPECT_EQ(x.sequence_gaps, y.sequence_gaps);
+  }
+  EXPECT_EQ(a.trace.records.size(), b.trace.records.size());
+}
+
+TEST(FaultFleet, CleanRunAccountsWithZeroFaultCounters) {
+  FleetConfig config = FaultyConfig();
+  config.fault_config = FaultConfig();  // Everything disabled.
+  const FleetResult result = RunFleet(config);
+  EXPECT_TRUE(result.integrity.AllAccounted());
+  const SystemIntegrity totals = result.integrity.Totals();
+  EXPECT_EQ(totals.records_shed, 0u);
+  EXPECT_EQ(totals.records_lost, 0u);
+  EXPECT_EQ(totals.shipment_failures, 0u);
+  EXPECT_EQ(totals.shipments_abandoned, 0u);
+  EXPECT_EQ(totals.duplicate_shipments, 0u);
+  EXPECT_EQ(totals.sequence_gaps, 0u);
+  EXPECT_EQ(totals.records_collected + totals.records_overflow_dropped + totals.records_unresolved,
+            totals.records_emitted);
+}
+
+}  // namespace
+}  // namespace ntrace

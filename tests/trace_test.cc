@@ -5,6 +5,10 @@
 
 #include <cstdio>
 
+#include <utility>
+
+#include "src/fault/fault.h"
+#include "src/trace/collection_server.h"
 #include "src/trace/snapshot.h"
 #include "src/trace/trace_buffer.h"
 #include "src/trace/trace_set.h"
@@ -104,6 +108,112 @@ TEST(TraceBuffer, NameRecordsBypassBuffering) {
   TraceBuffer buffer(engine, sink);
   buffer.AppendName(NameRecord{1, 1, "C:\\x"});
   EXPECT_EQ(sink.names, 1u);
+}
+
+// --- Resilient shipment link -------------------------------------------------------
+
+TEST(TraceBufferFaults, RetriesWithBackoffUntilOutageEnds) {
+  Engine engine;
+  CountingSink sink;
+  FaultInjector injector(11);
+  FaultPlan plan;
+  plan.outages.emplace_back(SimTime(), SimTime() + SimDuration::Millis(500));
+  injector.SetPlan(FaultSite::kShipment, plan);
+  TraceBuffer buffer(engine, sink, SimDuration::Micros(2), /*system_id=*/1, ShipmentPolicy{},
+                     &injector);
+  TraceRecord r;
+  for (int i = 0; i < 100; ++i) {
+    buffer.Append(r);
+  }
+  buffer.FlushAll();
+  engine.RunAll();
+  // The outage ends well inside the default backoff schedule: everything
+  // arrives eventually, nothing is lost or left in flight.
+  EXPECT_EQ(sink.delivered, 100u);
+  EXPECT_GT(buffer.shipment_failures(), 0u);
+  EXPECT_GT(buffer.shipment_attempts(), 1u);
+  EXPECT_EQ(buffer.records_lost(), 0u);
+  EXPECT_EQ(buffer.records_unresolved(), 0u);
+  EXPECT_EQ(buffer.retry_backlog(), 0u);
+}
+
+TEST(TraceBufferFaults, AbandonsAfterMaxAttemptsAndCountsLoss) {
+  Engine engine;
+  CountingSink sink;
+  FaultInjector injector(11);
+  FaultPlan plan;
+  plan.outages.emplace_back(SimTime(), SimTime() + SimDuration::Days(365));
+  injector.SetPlan(FaultSite::kShipment, plan);
+  ShipmentPolicy policy;
+  policy.max_attempts = 3;
+  TraceBuffer buffer(engine, sink, SimDuration::Micros(2), 1, policy, &injector);
+  TraceRecord r;
+  for (int i = 0; i < 42; ++i) {
+    buffer.Append(r);
+  }
+  buffer.FlushAll();
+  engine.RunAll();
+  EXPECT_EQ(sink.delivered, 0u);
+  EXPECT_EQ(buffer.shipment_attempts(), 3u);
+  EXPECT_EQ(buffer.shipments_abandoned(), 1u);
+  EXPECT_EQ(buffer.records_lost(), 42u);
+  EXPECT_EQ(buffer.records_unresolved(), 0u);
+  ASSERT_EQ(buffer.abandoned_shipments().size(), 1u);
+  EXPECT_EQ(buffer.abandoned_shipments()[0], (std::pair<uint64_t, uint64_t>{1, 42}));
+}
+
+TEST(TraceBufferFaults, ShedsIncomingRecordsWhileBacklogged) {
+  Engine engine;
+  CountingSink sink;
+  FaultInjector injector(11);
+  FaultPlan plan;
+  plan.outages.emplace_back(SimTime(), SimTime() + SimDuration::Days(365));
+  injector.SetPlan(FaultSite::kShipment, plan);
+  ShipmentPolicy policy;
+  policy.max_attempts = 1000;  // Keep the shipment parked in the retry queue.
+  policy.shed_watermark = 1;
+  policy.shed_keep_probability = 0.0;  // Shed everything while backlogged.
+  TraceBuffer buffer(engine, sink, SimDuration::Micros(2), 1, policy, &injector);
+  TraceRecord r;
+  buffer.Append(r);
+  buffer.FlushAll();
+  engine.RunUntil(SimTime() + SimDuration::Millis(1));  // First attempt fails.
+  EXPECT_EQ(buffer.retry_backlog(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Append(r);
+  }
+  EXPECT_EQ(buffer.records_shed(), 10u);
+  EXPECT_EQ(buffer.records_emitted(), 11u);
+  EXPECT_EQ(buffer.records_written(), 1u);
+}
+
+TEST(CollectionServerIntegrity, DetectsGapsDuplicatesAndReordering) {
+  CollectionServer server;
+  const std::vector<TraceRecord> two(2);
+  const std::vector<TraceRecord> one(1);
+  server.DeliverShipment(ShipmentHeader{3, 1, 1, 2}, two);
+  server.DeliverShipment(ShipmentHeader{3, 3, 1, 1}, one);
+  // A retry of sequence 1 whose acknowledgement was lost: duplicate.
+  server.DeliverShipment(ShipmentHeader{3, 1, 2, 2}, two);
+  const CollectionServer::StreamState* stream = server.StreamOf(3);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(stream->shipments_received, 3u);
+  EXPECT_EQ(stream->duplicate_shipments, 1u);
+  EXPECT_EQ(stream->duplicate_records_discarded, 2u);
+  EXPECT_EQ(stream->records_collected, 3u);
+  EXPECT_EQ(stream->MissingSequences(), 1u);  // Sequence 2 never arrived.
+  // The hole fills in late (a retried shipment overtaken by successors).
+  server.DeliverShipment(ShipmentHeader{3, 2, 4, 1}, one);
+  EXPECT_EQ(stream->out_of_order_shipments, 1u);
+  EXPECT_EQ(stream->MissingSequences(), 0u);
+
+  SystemIntegrity row;
+  row.system_id = 3;
+  row.records_emitted = 4;
+  server.FillIntegrity(&row);
+  EXPECT_EQ(row.records_collected, 4u);
+  EXPECT_EQ(row.sequence_gaps, 0u);
+  EXPECT_TRUE(row.Accounted());
 }
 
 // --- Filter capture ---------------------------------------------------------------
