@@ -8,6 +8,8 @@
 //   NTRACE_ACTIVITY       burst-rate multiplier (default 1.0)
 //   NTRACE_CONTENT        initial-content multiplier (default 0.15)
 //   NTRACE_SEED           fleet seed (default 1999)
+//   NTRACE_THREADS        fleet worker threads (default 0 = all cores;
+//                         output is bit-identical for every value)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
@@ -25,6 +27,19 @@ inline double EnvDouble(const char* name, double fallback) {
   return v == nullptr ? fallback : std::atof(v);
 }
 
+// Full-width integer parse. EnvDouble/atof round-trips through a double,
+// which silently corrupts values above 2^53 -- seeds must not go through
+// it.
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? fallback : static_cast<uint64_t>(parsed);
+}
+
 inline StudyConfig StandardConfig() {
   StudyConfig config;
   // Default fleet mirrors the paper's 45 instrumented systems.
@@ -35,9 +50,12 @@ inline StudyConfig StandardConfig() {
   config.fleet.administrative = std::max(1, static_cast<int>(5 * sys_scale));
   config.fleet.scientific = std::max(1, static_cast<int>(4 * sys_scale));
   config.fleet.days = static_cast<int>(EnvDouble("NTRACE_DAYS", 1));
-  config.fleet.seed = static_cast<uint64_t>(EnvDouble("NTRACE_SEED", 1999));
+  config.fleet.seed = EnvU64("NTRACE_SEED", 1999);
   config.fleet.activity_scale = EnvDouble("NTRACE_ACTIVITY", 0.75);
   config.fleet.content_scale = EnvDouble("NTRACE_CONTENT", 0.12);
+  // Benches default to all cores: the parallel fleet is bit-identical to
+  // the sequential one, so this only changes wall-clock.
+  config.fleet.threads = static_cast<int>(EnvU64("NTRACE_THREADS", 0));
   return config;
 }
 

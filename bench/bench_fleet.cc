@@ -1,0 +1,217 @@
+// Wall-clock fleet benchmark: the perf harness for the parallel fleet.
+//
+// Runs the standard study fleet at a sweep of worker-thread counts,
+// reports records/sec and speedup vs the sequential (1-thread) run, and
+// checks that every parallel run's output -- trace records, name records,
+// process map and integrity report -- is identical to the sequential
+// baseline. Results are written to BENCH_fleet.json so the perf
+// trajectory is tracked in-repo from run to run.
+//
+// Knobs (on top of the standard bench_common scale knobs):
+//   NTRACE_BENCH_THREADS  comma-separated thread counts (default "1,2,4"
+//                         plus hardware concurrency)
+//   NTRACE_BENCH_JSON     output path (default BENCH_fleet.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace ntrace {
+namespace {
+
+// FNV-1a over every observable output of a fleet run.
+class Fingerprint {
+ public:
+  void Mix(const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ = (hash_ ^ bytes[i]) * 0x100000001b3ULL;
+    }
+  }
+  template <typename T>
+  void MixValue(const T& value) {
+    Mix(&value, sizeof(value));
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+uint64_t FleetFingerprint(const FleetResult& result) {
+  Fingerprint fp;
+  const TraceSet& trace = result.trace;
+  if (!trace.records.empty()) {
+    // TraceRecord is POD with no implicit padding (see trace_record.h).
+    fp.Mix(trace.records.data(), trace.records.size() * sizeof(TraceRecord));
+  }
+  for (const NameRecord& n : trace.names) {
+    fp.MixValue(n.file_object);
+    fp.MixValue(n.system_id);
+    fp.Mix(n.path.data(), n.path.size());
+  }
+  // Iteration order of the process map depends on insertion order, which
+  // the deterministic merge reproduces -- so it is part of the contract.
+  for (const auto& [pid, name] : trace.process_names) {
+    fp.MixValue(pid);
+    fp.Mix(name.data(), name.size());
+  }
+  for (const SystemIntegrity& s : result.integrity.systems) {
+    // Field by field: the struct has alignment padding whose bytes are
+    // unspecified.
+    fp.MixValue(s.system_id);
+    fp.MixValue(s.records_emitted);
+    fp.MixValue(s.records_overflow_dropped);
+    fp.MixValue(s.records_shed);
+    fp.MixValue(s.records_lost);
+    fp.MixValue(s.records_unresolved);
+    fp.MixValue(s.shipments_sent);
+    fp.MixValue(s.shipment_attempts);
+    fp.MixValue(s.shipment_failures);
+    fp.MixValue(s.shipments_abandoned);
+    fp.MixValue(s.peak_retry_backlog);
+    fp.MixValue(s.shipments_received);
+    fp.MixValue(s.duplicate_shipments);
+    fp.MixValue(s.out_of_order_shipments);
+    fp.MixValue(s.sequence_gaps);
+    fp.MixValue(s.records_collected);
+    fp.MixValue(s.duplicate_records_discarded);
+  }
+  return fp.value();
+}
+
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep;
+  const char* env = std::getenv("NTRACE_BENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int value = 0;
+    bool have_digit = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + (*p - '0');
+        have_digit = true;
+      } else {
+        if (have_digit) {
+          sweep.push_back(value);
+        }
+        value = 0;
+        have_digit = false;
+        if (*p == '\0') {
+          break;
+        }
+      }
+    }
+  } else {
+    sweep = {1, 2, 4};
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 0) {
+      sweep.push_back(hw);
+    }
+  }
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  if (sweep.empty() || sweep.front() != 1) {
+    sweep.insert(sweep.begin(), 1);  // The sequential baseline is mandatory.
+  }
+  return sweep;
+}
+
+struct RunSample {
+  int threads = 1;
+  double seconds = 0;
+  uint64_t records = 0;
+  uint64_t fingerprint = 0;
+};
+
+RunSample TimeOneRun(const FleetConfig& base, int threads) {
+  FleetConfig config = base;
+  config.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const FleetResult result = RunFleet(config);
+  const auto stop = std::chrono::steady_clock::now();
+  RunSample sample;
+  sample.threads = threads;
+  sample.seconds = std::chrono::duration<double>(stop - start).count();
+  sample.records = result.trace.records.size();
+  sample.fingerprint = FleetFingerprint(result);
+  return sample;
+}
+
+}  // namespace
+}  // namespace ntrace
+
+int main() {
+  using namespace ntrace;
+
+  const StudyConfig config = StandardConfig();
+  const std::vector<int> sweep = ThreadSweep();
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::printf("ntrace fleet benchmark: %d systems, %d day(s), seed %llu, %d hardware thread(s)\n",
+              config.fleet.TotalSystems(), config.fleet.days,
+              static_cast<unsigned long long>(config.fleet.seed), hw);
+  std::printf("%8s %10s %14s %9s %10s\n", "threads", "wall s", "records/s", "speedup",
+              "identical");
+
+  std::vector<RunSample> samples;
+  double baseline_seconds = 0;
+  uint64_t baseline_fingerprint = 0;
+  bool all_identical = true;
+  for (int threads : sweep) {
+    const RunSample s = TimeOneRun(config.fleet, threads);
+    if (threads == 1) {
+      baseline_seconds = s.seconds;
+      baseline_fingerprint = s.fingerprint;
+    }
+    const bool identical = s.fingerprint == baseline_fingerprint;
+    all_identical = all_identical && identical;
+    std::printf("%8d %10.3f %14.0f %9.2f %10s\n", threads, s.seconds,
+                s.seconds > 0 ? static_cast<double>(s.records) / s.seconds : 0.0,
+                s.seconds > 0 ? baseline_seconds / s.seconds : 0.0, identical ? "yes" : "NO");
+    samples.push_back(s);
+  }
+
+  const char* json_path = std::getenv("NTRACE_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_fleet.json";
+  }
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fleet\",\n");
+  std::fprintf(f, "  \"systems\": %d,\n", config.fleet.TotalSystems());
+  std::fprintf(f, "  \"days\": %d,\n", config.fleet.days);
+  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(config.fleet.seed));
+  std::fprintf(f, "  \"activity_scale\": %g,\n", config.fleet.activity_scale);
+  std::fprintf(f, "  \"content_scale\": %g,\n", config.fleet.content_scale);
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  std::fprintf(f, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(samples.front().records));
+  std::fprintf(f, "  \"all_identical\": %s,\n", all_identical ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const RunSample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, \"records_per_sec\": %.0f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 s.threads, s.seconds,
+                 s.seconds > 0 ? static_cast<double>(s.records) / s.seconds : 0.0,
+                 s.seconds > 0 ? baseline_seconds / s.seconds : 0.0,
+                 s.fingerprint == baseline_fingerprint ? "true" : "false",
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+
+  return all_identical ? 0 : 1;
+}

@@ -20,6 +20,9 @@ const TraceSet& Study::app_trace() {
   assert(result_.has_value());
   if (!app_trace_.has_value()) {
     app_trace_ = result_->trace.WithoutCacheInducedPaging();
+    // Index while still single-threaded; analyses may then share the view
+    // concurrently without racing on the lazy name-index build.
+    app_trace_->EnsureNameIndex();
   }
   return *app_trace_;
 }

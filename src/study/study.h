@@ -39,6 +39,10 @@
 namespace ntrace {
 
 struct StudyConfig {
+  // Fleet shape and execution. `fleet.threads` selects the worker pool for
+  // the simulation phase (1 = sequential, 0 = hardware concurrency); every
+  // accessor below sees bit-identical data regardless of the value, so
+  // thread count is purely a wall-clock knob.
   FleetConfig fleet;
 };
 
@@ -59,7 +63,10 @@ class Study {
   const InstanceTable& instances();       // Built over app_trace().
   const std::vector<SystemRunStats>& systems() const;
   CacheStats total_cache_stats() const;
-  const IntegrityReport& integrity() const;  // Pipeline accounting per system.
+  // Pipeline accounting per system, rows in system-id order. Under
+  // parallel execution the report is merged across the per-system server
+  // shards (faulted runs included) and is identical to a sequential run's.
+  const IntegrityReport& integrity() const;
 
   // --- Analyses (memoized) ----------------------------------------------------
   const UserActivityResult& UserActivity();      // Table 2.

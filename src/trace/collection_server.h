@@ -2,8 +2,12 @@
 //
 // "The collection servers are three dedicated file servers that take the
 // incoming event streams and store them in compressed formats for later
-// retrieval" (section 3). Here a single CollectionServer aggregates the
-// record streams of every traced system into a TraceSet.
+// retrieval" (section 3). A CollectionServer aggregates the record streams
+// delivered to it into a TraceSet. One instance can serve a whole fleet
+// (the sequential path), or act as one shard of many: the parallel fleet
+// gives every system its own server so no ingest state is shared between
+// workers, then merges the shards in system-id order (see fleet.cc). A
+// server is not itself thread-safe; sharding is the concurrency model.
 //
 // Shipments arrive sequence-numbered per system; the server tracks the
 // received-sequence set of every stream so it can dedupe duplicate
@@ -51,7 +55,9 @@ class CollectionServer final : public TraceSink {
   void DeliverShipment(const ShipmentHeader& header,
                        std::vector<TraceRecord> records) override;
 
-  // The aggregated collection (sorted by completion time on access).
+  // The aggregated collection (sorted by completion time on first call;
+  // idempotent, so a worker can pre-sort its shard and the merge can call
+  // it again without re-sorting).
   TraceSet& Finish();
   const TraceSet& set() const { return set_; }
 

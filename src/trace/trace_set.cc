@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <queue>
 #include <set>
+#include <utility>
 
 namespace ntrace {
 namespace {
@@ -34,19 +36,60 @@ bool ReadString(std::FILE* f, std::string* s) {
 
 }  // namespace
 
-void TraceSet::BuildNameIndex() const {
-  if (name_index_built_) {
+TraceSet::TraceSet(const TraceSet& other)
+    : records(other.records), names(other.names), process_names(other.process_names) {}
+
+TraceSet::TraceSet(TraceSet&& other) noexcept
+    : records(std::move(other.records)),
+      names(std::move(other.names)),
+      process_names(std::move(other.process_names)) {
+  other.ResetNameIndex();
+}
+
+TraceSet& TraceSet::operator=(const TraceSet& other) {
+  if (this != &other) {
+    records = other.records;
+    names = other.names;
+    process_names = other.process_names;
+    ResetNameIndex();
+  }
+  return *this;
+}
+
+TraceSet& TraceSet::operator=(TraceSet&& other) noexcept {
+  if (this != &other) {
+    records = std::move(other.records);
+    names = std::move(other.names);
+    process_names = std::move(other.process_names);
+    ResetNameIndex();
+    other.ResetNameIndex();
+  }
+  return *this;
+}
+
+void TraceSet::ResetNameIndex() noexcept {
+  name_index_.clear();
+  name_index_built_.store(false, std::memory_order_release);
+}
+
+void TraceSet::EnsureNameIndex() const {
+  if (name_index_built_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(name_index_mutex_);
+  if (name_index_built_.load(std::memory_order_relaxed)) {
     return;
   }
   name_index_.clear();
+  name_index_.reserve(names.size());
   for (size_t i = 0; i < names.size(); ++i) {
     name_index_[names[i].file_object] = i;
   }
-  name_index_built_ = true;
+  name_index_built_.store(true, std::memory_order_release);
 }
 
 const std::string* TraceSet::PathOf(uint64_t file_object) const {
-  BuildNameIndex();
+  EnsureNameIndex();
   auto it = name_index_.find(file_object);
   return it == name_index_.end() ? nullptr : &names[it->second].path;
 }
@@ -97,6 +140,39 @@ void TraceSet::SortByTime() {
   std::stable_sort(records.begin(), records.end(), [](const TraceRecord& a, const TraceRecord& b) {
     return a.complete_ticks < b.complete_ticks;
   });
+}
+
+void TraceSet::MergeSortedRuns(std::vector<std::vector<TraceRecord>> runs) {
+  if (runs.size() == 1) {
+    records = std::move(runs.front());
+    return;
+  }
+  size_t total = 0;
+  for (const auto& run : runs) {
+    total += run.size();
+  }
+  std::vector<TraceRecord> merged;
+  merged.reserve(total);
+  // Min-heap keyed (completion ticks, run index): equal times pop the
+  // earlier run first, and each run is consumed front to back, which
+  // together reproduce the stable sort of the concatenation.
+  using HeapEntry = std::pair<int64_t, size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  std::vector<size_t> pos(runs.size(), 0);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) {
+      heap.emplace(runs[r].front().complete_ticks, r);
+    }
+  }
+  while (!heap.empty()) {
+    const size_t r = heap.top().second;
+    heap.pop();
+    merged.push_back(runs[r][pos[r]]);
+    if (++pos[r] < runs[r].size()) {
+      heap.emplace(runs[r][pos[r]].complete_ticks, r);
+    }
+  }
+  records = std::move(merged);
 }
 
 bool TraceSet::SaveTo(const std::string& path) const {

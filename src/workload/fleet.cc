@@ -1,5 +1,12 @@
 #include "src/workload/fleet.h"
 
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <utility>
+
 namespace ntrace {
 
 CacheStats FleetResult::TotalCache() const {
@@ -64,13 +71,53 @@ uint64_t FleetResult::TotalFastIoWriteHits() const {
   return n;
 }
 
-FleetResult RunFleet(const FleetConfig& config) {
-  FleetResult result;
-  CollectionServer server;
-  Rng seeder(config.seed);
+namespace {
 
+// Everything one worker produces for one system. Workers never touch
+// shared mutable state on the hot path: each system traces into its own
+// CollectionServer shard, and the main thread merges shards in system-id
+// order after the pool joins, so the merged output is independent of
+// scheduling.
+struct SystemShard {
+  CollectionServer server;
+  SystemRunStats stats;
+  // (pid, image name) in the system's own harvest order, preserved so the
+  // merged process map sees the same insertion sequence as a sequential
+  // run (the map serializes in insertion-dependent order).
+  std::vector<std::pair<uint32_t, std::string>> process_names;
+};
+
+void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
+  SimulatedSystem system(options, shard->server);
+  shard->stats = system.Run();
+  for (const auto& [pid, info] : system.processes().all()) {
+    shard->process_names.emplace_back(pid, info.image_name);
+  }
+  // Time-sort this shard's stream while still on the worker; the global
+  // merge then only k-way merges already-sorted runs.
+  shard->server.Finish();
+}
+
+int ResolveThreads(int requested, int systems) {
+  if (requested <= 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+    if (requested <= 0) {
+      requested = 1;
+    }
+  }
+  return std::min(std::max(requested, 1), std::max(systems, 1));
+}
+
+}  // namespace
+
+FleetResult RunFleet(const FleetConfig& config) {
+  // Pre-draw every system's seed from the seeder in system-id order; the
+  // per-system seed stream is then fixed before any worker starts.
+  std::vector<SystemOptions> all_options;
+  all_options.reserve(static_cast<size_t>(config.TotalSystems()));
+  Rng seeder(config.seed);
   uint32_t system_id = 1;
-  auto run_category = [&](UsageCategory category, int count) {
+  auto add_category = [&](UsageCategory category, int count) {
     for (int i = 0; i < count; ++i) {
       SystemOptions options;
       options.system_id = system_id++;
@@ -86,26 +133,51 @@ FleetResult RunFleet(const FleetConfig& config) {
       options.daily_snapshots = config.daily_snapshots;
       options.fault_config = config.fault_config;
       options.shipment_policy = config.shipment_policy;
-
-      SimulatedSystem system(options, server);
-      SystemRunStats stats = system.Run();
-      // Harvest process names into the merged collection before teardown.
-      for (const auto& [pid, info] : system.processes().all()) {
-        result.trace.process_names.emplace(pid, info.image_name);
-      }
-      result.systems.push_back(std::move(stats));
+      all_options.push_back(options);
     }
   };
+  add_category(UsageCategory::kWalkUp, config.walk_up);
+  add_category(UsageCategory::kPool, config.pool);
+  add_category(UsageCategory::kPersonal, config.personal);
+  add_category(UsageCategory::kAdministrative, config.administrative);
+  add_category(UsageCategory::kScientific, config.scientific);
 
-  run_category(UsageCategory::kWalkUp, config.walk_up);
-  run_category(UsageCategory::kPool, config.pool);
-  run_category(UsageCategory::kPersonal, config.personal);
-  run_category(UsageCategory::kAdministrative, config.administrative);
-  run_category(UsageCategory::kScientific, config.scientific);
+  const int total = static_cast<int>(all_options.size());
+  std::vector<SystemShard> shards(static_cast<size_t>(total));
+  const int threads = ResolveThreads(config.threads, total);
+  if (threads <= 1) {
+    for (int i = 0; i < total; ++i) {
+      RunOneSystem(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)]);
+    }
+  } else {
+    std::atomic<int> next{0};
+    auto worker = [&] {
+      for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        RunOneSystem(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
 
-  // Merge agent-side counters with the server's sequence bookkeeping into
-  // the integrity report.
-  for (const SystemRunStats& s : result.systems) {
+  // Merge shards in system-id order: stats, process names, the integrity
+  // report (agent-side counters reconciled against each shard server's
+  // sequence bookkeeping, faults included), then the trace streams.
+  FleetResult result;
+  std::vector<std::vector<TraceRecord>> sorted_runs;
+  sorted_runs.reserve(shards.size());
+  for (SystemShard& shard : shards) {
+    const SystemRunStats& s = shard.stats;
+    for (auto& [pid, name] : shard.process_names) {
+      result.trace.process_names.emplace(pid, std::move(name));
+    }
+
     SystemIntegrity row;
     row.system_id = s.system_id;
     row.records_emitted = s.trace_emitted;
@@ -118,11 +190,11 @@ FleetResult RunFleet(const FleetConfig& config) {
     row.shipment_failures = s.shipment_failures;
     row.shipments_abandoned = s.shipments_abandoned;
     row.peak_retry_backlog = s.peak_retry_backlog;
-    server.FillIntegrity(&row);
+    shard.server.FillIntegrity(&row);
     // An abandoned shipment whose payload did arrive (only the final
     // acknowledgement was lost) is counted by both sides; it is collected,
     // not lost.
-    if (const CollectionServer::StreamState* stream = server.StreamOf(s.system_id)) {
+    if (const CollectionServer::StreamState* stream = shard.server.StreamOf(s.system_id)) {
       for (const auto& [sequence, count] : s.abandoned_shipments) {
         if (stream->Received(sequence)) {
           row.records_lost -= count;
@@ -130,12 +202,18 @@ FleetResult RunFleet(const FleetConfig& config) {
       }
     }
     result.integrity.systems.push_back(row);
-  }
 
-  TraceSet& collected = server.Finish();
-  result.trace.records = std::move(collected.records);
-  result.trace.names = std::move(collected.names);
-  result.trace.SortByTime();
+    TraceSet& collected = shard.server.Finish();  // Already sorted by the worker.
+    sorted_runs.push_back(std::move(collected.records));
+    result.trace.names.insert(result.trace.names.end(),
+                              std::make_move_iterator(collected.names.begin()),
+                              std::make_move_iterator(collected.names.end()));
+    result.systems.push_back(std::move(shard.stats));
+  }
+  result.trace.MergeSortedRuns(std::move(sorted_runs));
+  // Build the lookup index while still single-threaded so concurrent
+  // analyses never race on the lazy build.
+  result.trace.EnsureNameIndex();
   return result;
 }
 

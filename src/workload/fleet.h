@@ -2,10 +2,16 @@
 // one collection (paper sections 2-3: 45 systems selected from 250, three
 // collection servers, 4 weeks).
 //
-// Systems are simulated sequentially on private engines whose clocks all
-// start at the same epoch; the merged trace is time-comparable across
-// systems, exactly as the study's per-system traces were. Sequential
-// simulation bounds peak memory to one machine's state.
+// Systems are simulated on private engines whose clocks all start at the
+// same epoch; the merged trace is time-comparable across systems, exactly
+// as the study's per-system traces were. Each system is embarrassingly
+// parallel (private engine, pre-drawn seed, its own CollectionServer
+// shard), so `FleetConfig::threads` runs the fleet on a fixed-size worker
+// pool; shards are merged in system-id order and the per-system
+// time-sorted streams are k-way merged, making the output bit-identical
+// for every thread count (DESIGN.md §7). threads == 1 (the default) is
+// the sequential path and bounds peak memory to one machine's state plus
+// the collected shards; N workers hold at most N machines' state.
 
 #ifndef SRC_WORKLOAD_FLEET_H_
 #define SRC_WORKLOAD_FLEET_H_
@@ -42,6 +48,12 @@ struct FleetConfig {
   // are reproducible per system). Disabled by default.
   FaultConfig fault_config;
   ShipmentPolicy shipment_policy;
+
+  // Worker threads simulating systems concurrently: 1 = sequential
+  // (default), 0 = hardware concurrency, N = pool of N (capped at the
+  // system count). The merged output is bit-identical across all values --
+  // trace bytes, names, process map and integrity report alike.
+  int threads = 1;
 
   int TotalSystems() const {
     return walk_up + pool + personal + administrative + scientific;
