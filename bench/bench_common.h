@@ -16,20 +16,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/study/study.h"
 
 namespace ntrace {
 
+// Strict parse: the whole value must be consumed. A typo in a scale knob
+// (NTRACE_ACTIVITY=0..5) silently running the default-sized bench would
+// poison the recorded perf trajectory, so unparsable input warns on stderr
+// and falls back.
 inline double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atof(v);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not a number; using default %g\n", name, v,
+                 fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
-// Full-width integer parse. EnvDouble/atof round-trips through a double,
+// Full-width integer parse. EnvDouble/strtod round-trips through a double,
 // which silently corrupts values above 2^53 -- seeds must not go through
-// it.
+// it. strtoull accepts a leading '-' (wrapping modulo 2^64); reject it.
 inline uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') {
@@ -37,7 +52,12 @@ inline uint64_t EnvU64(const char* name, uint64_t fallback) {
   }
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
-  return end == v ? fallback : static_cast<uint64_t>(parsed);
+  if (end == v || *end != '\0' || std::strchr(v, '-') != nullptr) {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not a non-negative integer; using default %llu\n",
+                 name, v, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
 }
 
 inline StudyConfig StandardConfig() {

@@ -7,10 +7,17 @@
 // baseline. Results are written to BENCH_fleet.json so the perf
 // trajectory is tracked in-repo from run to run.
 //
+// The sequential baseline is also run once with the metrics layer switched
+// off (SetMetricsEnabled) to measure the observability overhead itself;
+// BENCH_fleet.json carries the headline metrics of the baseline run and
+// "metrics_overhead_pct" (budget: < 3% of records/sec, DESIGN.md §8).
+//
 // Knobs (on top of the standard bench_common scale knobs):
 //   NTRACE_BENCH_THREADS  comma-separated thread counts (default "1,2,4"
 //                         plus hardware concurrency)
 //   NTRACE_BENCH_JSON     output path (default BENCH_fleet.json)
+//   NTRACE_METRICS_JSON   also dump the baseline run's metrics snapshot as JSON
+//   NTRACE_METRICS_PROM   same, Prometheus text exposition format
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/metrics/metrics.h"
 
 namespace ntrace {
 namespace {
@@ -127,6 +135,7 @@ struct RunSample {
   double seconds = 0;
   uint64_t records = 0;
   uint64_t fingerprint = 0;
+  MetricsSnapshot metrics;  // This run's delta (FleetResult::metrics).
 };
 
 RunSample TimeOneRun(const FleetConfig& base, int threads) {
@@ -140,7 +149,24 @@ RunSample TimeOneRun(const FleetConfig& base, int threads) {
   sample.seconds = std::chrono::duration<double>(stop - start).count();
   sample.records = result.trace.records.size();
   sample.fingerprint = FleetFingerprint(result);
+  sample.metrics = result.metrics;
   return sample;
+}
+
+double Ratio(uint64_t num, uint64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+bool WriteTextFile(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
 }
 
 }  // namespace
@@ -176,6 +202,45 @@ int main() {
                 s.seconds > 0 ? baseline_seconds / s.seconds : 0.0, identical ? "yes" : "NO");
     samples.push_back(s);
   }
+  const RunSample& baseline = samples.front();
+
+  // Measure the observability layer itself: the same sequential run with
+  // every metric mutation short-circuited. The sweep's baseline was the
+  // cold first run of the process, so time fresh warm runs instead of
+  // comparing against it; alternate on/off order across three pairs and
+  // take the per-side minimum so monotonic machine drift does not read as
+  // overhead. Output must stay identical either way -- the layer may not
+  // perturb the simulation.
+  double on_seconds = 0;
+  double off_seconds = 0;
+  for (int pair = 0; pair < 3; ++pair) {
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool enabled = (leg == 0) == (pair % 2 == 0);
+      SetMetricsEnabled(enabled);
+      const RunSample s = TimeOneRun(config.fleet, 1);
+      all_identical = all_identical && s.fingerprint == baseline_fingerprint;
+      double& best = enabled ? on_seconds : off_seconds;
+      best = best == 0 ? s.seconds : std::min(best, s.seconds);
+    }
+  }
+  SetMetricsEnabled(true);
+  const double metrics_overhead_pct =
+      off_seconds > 0 ? (on_seconds - off_seconds) / off_seconds * 100.0 : 0.0;
+  std::printf("metrics overhead: %.2f%% (on: %.3fs, off: %.3fs, budget < 3%%)\n",
+              metrics_overhead_pct, on_seconds, off_seconds);
+
+  // Headline live-counter figures of the baseline run, straight from the
+  // registry delta (the analysis-layer agreement is asserted in
+  // tests/metrics_test.cc; here they feed the perf trajectory).
+  const MetricsSnapshot& m = baseline.metrics;
+  const uint64_t fastio_reads = m.CounterValue("ntrace_ntio_fastio_read_accepted_total");
+  const uint64_t irp_reads = m.CounterValue("ntrace_ntio_app_read_irp_total");
+  const uint64_t fastio_writes = m.CounterValue("ntrace_ntio_fastio_write_accepted_total");
+  const uint64_t irp_writes = m.CounterValue("ntrace_ntio_app_write_irp_total");
+  const double fastio_read_share = Ratio(fastio_reads, fastio_reads + irp_reads);
+  const double fastio_write_share = Ratio(fastio_writes, fastio_writes + irp_writes);
+  const double cache_hit_fraction = Ratio(m.CounterValue("ntrace_mm_copy_read_hit_total"),
+                                          m.CounterValue("ntrace_mm_copy_read_total"));
 
   const char* json_path = std::getenv("NTRACE_BENCH_JSON");
   if (json_path == nullptr || *json_path == '\0') {
@@ -197,6 +262,24 @@ int main() {
   std::fprintf(f, "  \"records\": %llu,\n",
                static_cast<unsigned long long>(samples.front().records));
   std::fprintf(f, "  \"all_identical\": %s,\n", all_identical ? "true" : "false");
+  std::fprintf(f, "  \"metrics_overhead_pct\": %.3f,\n", metrics_overhead_pct);
+  std::fprintf(f, "  \"metrics\": {\n");
+  std::fprintf(f, "    \"records_emitted\": %llu,\n",
+               static_cast<unsigned long long>(
+                   m.CounterValue("ntrace_trace_records_emitted_total")));
+  std::fprintf(f, "    \"records_collected\": %llu,\n",
+               static_cast<unsigned long long>(
+                   m.CounterValue("ntrace_server_records_collected_total")));
+  std::fprintf(f, "    \"irp_dispatches\": %llu,\n",
+               static_cast<unsigned long long>(m.CounterValue("ntrace_ntio_irp_dispatch_total")));
+  std::fprintf(f, "    \"fastio_read_share\": %.6f,\n", fastio_read_share);
+  std::fprintf(f, "    \"fastio_write_share\": %.6f,\n", fastio_write_share);
+  std::fprintf(f, "    \"cache_hit_fraction\": %.6f,\n", cache_hit_fraction);
+  std::fprintf(f, "    \"lazy_write_irps\": %llu,\n",
+               static_cast<unsigned long long>(m.CounterValue("ntrace_mm_lazy_write_irp_total")));
+  std::fprintf(f, "    \"merge_wall_us\": %lld\n",
+               static_cast<long long>(m.GaugeValue("ntrace_fleet_last_merge_wall_us")));
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < samples.size(); ++i) {
     const RunSample& s = samples[i];
@@ -212,6 +295,16 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", json_path);
+
+  // Optional full-snapshot exports of the baseline run's registry delta.
+  const char* metrics_json = std::getenv("NTRACE_METRICS_JSON");
+  if (metrics_json != nullptr && *metrics_json != '\0') {
+    WriteTextFile(metrics_json, baseline.metrics.ToJson());
+  }
+  const char* metrics_prom = std::getenv("NTRACE_METRICS_PROM");
+  if (metrics_prom != nullptr && *metrics_prom != '\0') {
+    WriteTextFile(metrics_prom, baseline.metrics.ToPrometheusText());
+  }
 
   return all_identical ? 0 : 1;
 }

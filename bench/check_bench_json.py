@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Sanity guard for BENCH_*.json files produced by the bench binaries.
+
+CI runs this on every bench artifact before uploading it: a bench that
+writes NaN/Inf, drops a key, or records a non-identical parallel run must
+fail the job, not poison the tracked perf trajectory. Stdlib only.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits non-zero on the first structurally invalid file.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP_KEYS = ["bench", "systems", "days", "seed", "records", "all_identical", "runs"]
+REQUIRED_RUN_KEYS = ["threads", "seconds", "records_per_sec", "speedup", "identical"]
+# Present only in benches that carry the metrics layer (bench_fleet).
+FLEET_METRIC_KEYS = [
+    "records_emitted",
+    "records_collected",
+    "fastio_read_share",
+    "fastio_write_share",
+    "cache_hit_fraction",
+]
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_finite(path, name, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return fail(path, f'"{name}" is not a number: {value!r}')
+    if not math.isfinite(value):
+        return fail(path, f'"{name}" is not finite: {value!r}')
+    return 0
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+
+    errors = 0
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            errors += fail(path, f'missing required key "{key}"')
+    if errors:
+        return errors
+
+    for key in ("systems", "days", "seed", "records"):
+        errors += check_finite(path, key, doc[key])
+    if not errors and doc["records"] <= 0:
+        errors += fail(path, f'"records" must be positive, got {doc["records"]}')
+    if doc["all_identical"] is not True:
+        errors += fail(path, "all_identical is not true: a parallel run diverged from baseline")
+
+    runs = doc["runs"]
+    if not isinstance(runs, list) or not runs:
+        return errors + fail(path, '"runs" must be a non-empty list')
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors += fail(path, f"runs[{i}] is not an object")
+            continue
+        for key in REQUIRED_RUN_KEYS:
+            if key not in run:
+                errors += fail(path, f'runs[{i}] missing "{key}"')
+                continue
+            if key == "identical":
+                if run[key] is not True:
+                    errors += fail(path, f"runs[{i}] (threads={run.get('threads')}) not identical")
+            else:
+                errors += check_finite(path, f"runs[{i}].{key}", run[key])
+    if runs and isinstance(runs[0], dict) and runs[0].get("threads") != 1:
+        errors += fail(path, "runs[0] must be the sequential (threads=1) baseline")
+
+    if "metrics_overhead_pct" in doc:
+        errors += check_finite(path, "metrics_overhead_pct", doc["metrics_overhead_pct"])
+    if "metrics" in doc:
+        metrics = doc["metrics"]
+        if not isinstance(metrics, dict):
+            errors += fail(path, '"metrics" is not an object')
+        else:
+            for key in FLEET_METRIC_KEYS:
+                if key not in metrics:
+                    errors += fail(path, f'metrics missing "{key}"')
+                    continue
+                errors += check_finite(path, f"metrics.{key}", metrics[key])
+            for key in ("fastio_read_share", "fastio_write_share", "cache_hit_fraction"):
+                value = metrics.get(key)
+                if isinstance(value, (int, float)) and not 0.0 <= value <= 1.0:
+                    errors += fail(path, f"metrics.{key} out of [0, 1]: {value}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        file_errors = check_file(path)
+        errors += file_errors
+        if not file_errors:
+            print(f"{path}: ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/metrics/metrics.h"
+
 namespace ntrace {
 
 std::string_view FaultSiteName(FaultSite site) {
@@ -24,6 +26,36 @@ namespace {
 uint64_t SiteSeed(uint64_t seed, size_t site) {
   return seed + 0x9E3779B97F4A7C15ULL * (site + 1);
 }
+
+// Per-site evaluation/injection counters (DESIGN.md §8), aggregated over
+// every injector in the fleet.
+struct FaultMetrics {
+  Counter* evaluations[kNumFaultSites];
+  Counter* injected[kNumFaultSites];
+
+  static FaultMetrics& Get() {
+    static FaultMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      FaultMetrics fm;
+      fm.evaluations[0] =
+          &r.GetCounter("ntrace_fault_shipment_evaluations_total",
+                        "Operations evaluated against the shipment fault plan");
+      fm.evaluations[1] = &r.GetCounter("ntrace_fault_disk_read_evaluations_total",
+                                        "Operations evaluated against the disk-read fault plan");
+      fm.evaluations[2] =
+          &r.GetCounter("ntrace_fault_disk_write_evaluations_total",
+                        "Operations evaluated against the disk-write fault plan");
+      fm.injected[0] = &r.GetCounter("ntrace_fault_shipment_injected_total",
+                                     "Shipment failures injected");
+      fm.injected[1] = &r.GetCounter("ntrace_fault_disk_read_injected_total",
+                                     "Disk-read media errors injected");
+      fm.injected[2] = &r.GetCounter("ntrace_fault_disk_write_injected_total",
+                                     "Disk-write media errors injected");
+      return fm;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -50,12 +82,15 @@ FaultOutcome FaultInjector::Evaluate(FaultSite site, SimTime now) {
     return {};
   }
   ++s.evaluations;
+  FaultMetrics& metrics = FaultMetrics::Get();
+  metrics.evaluations[static_cast<size_t>(site)]->Inc();
 
   // Hard outages fail deterministically: the link/device is down, nothing
   // was delivered, no randomness involved.
   for (const auto& [start, end] : s.plan.outages) {
     if (now >= start && now < end) {
       ++s.injected;
+      metrics.injected[static_cast<size_t>(site)]->Inc();
       return {true, false};
     }
   }
@@ -71,6 +106,7 @@ FaultOutcome FaultInjector::Evaluate(FaultSite site, SimTime now) {
   outcome.fail = s.rng.Bernoulli(p);
   if (outcome.fail) {
     ++s.injected;
+    metrics.injected[static_cast<size_t>(site)]->Inc();
     if (s.plan.ack_loss_fraction > 0.0) {
       outcome.ack_lost = s.rng.Bernoulli(s.plan.ack_loss_fraction);
     }

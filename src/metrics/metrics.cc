@@ -1,0 +1,294 @@
+#include "src/metrics/metrics.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+namespace ntrace {
+
+namespace metrics_internal {
+
+size_t AllocateShardSlot() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = [] {
+    auto* r = new MetricsRegistry();
+    // NTRACE_METRICS=0 disables every mutation (the bench overhead knob).
+    const char* env = std::getenv("NTRACE_METRICS");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+         std::strcmp(env, "off") == 0)) {
+      SetMetricsEnabled(false);
+    }
+    return r;
+  }();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  assert(kinds_.find(name) == kinds_.end() && "metric name registered with another kind");
+  std::string key(name);
+  kinds_.emplace(key, Kind::kCounter);
+  auto [pos, inserted] =
+      counters_.emplace(key, std::unique_ptr<Counter>(new Counter(key, std::string(help))));
+  (void)inserted;
+  return *pos->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
+  }
+  assert(kinds_.find(name) == kinds_.end() && "metric name registered with another kind");
+  std::string key(name);
+  kinds_.emplace(key, Kind::kGauge);
+  auto [pos, inserted] =
+      gauges_.emplace(key, std::unique_ptr<Gauge>(new Gauge(key, std::string(help))));
+  (void)inserted;
+  return *pos->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  assert(kinds_.find(name) == kinds_.end() && "metric name registered with another kind");
+  std::string key(name);
+  auto [pos, inserted] =
+      histograms_.emplace(key, std::unique_ptr<Histogram>(new Histogram(key, std::string(help))));
+  (void)inserted;
+  kinds_.emplace(std::move(key), Kind::kHistogram);
+  return *pos->second;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kinds_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->help(), c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->help(), g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.help = h->help();
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.buckets.resize(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = h->BucketCount(i);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaFrom(const MetricsSnapshot& base) const {
+  MetricsSnapshot out = *this;
+  for (CounterSnapshot& c : out.counters) {
+    c.value -= base.CounterValue(c.name);
+  }
+  for (HistogramSnapshot& h : out.histograms) {
+    const HistogramSnapshot* b = base.FindHistogram(h.name);
+    if (b == nullptr) {
+      continue;
+    }
+    h.count -= b->count;
+    h.sum -= b->sum;
+    for (size_t i = 0; i < h.buckets.size() && i < b->buckets.size(); ++i) {
+      h.buckets[i] -= b->buckets[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, counters[i].name);
+    out += "\": ";
+    AppendU64(&out, counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, gauges[i].name);
+    out += "\": ";
+    AppendI64(&out, gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendEscaped(&out, h.name);
+    out += "\": {\"count\": ";
+    AppendU64(&out, h.count);
+    out += ", \"sum\": ";
+    AppendU64(&out, h.sum);
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) {
+        continue;  // Sparse: log2 bucket arrays are mostly empty.
+      }
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += "[";
+      if (b < Histogram::kNumBounds) {
+        AppendU64(&out, Histogram::BucketUpperBound(b));
+      } else {
+        out += "\"+Inf\"";
+      }
+      out += ", ";
+      AppendU64(&out, h.buckets[b]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    if (!c.help.empty()) {
+      out += "# HELP " + c.name + " " + c.help + "\n";
+    }
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " ";
+    AppendU64(&out, c.value);
+    out += "\n";
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    if (!g.help.empty()) {
+      out += "# HELP " + g.name + " " + g.help + "\n";
+    }
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    AppendI64(&out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    if (!h.help.empty()) {
+      out += "# HELP " + h.name + " " + h.help + "\n";
+    }
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      // Empty leading/mid buckets are elided except the final +Inf bound,
+      // which Prometheus requires.
+      if (h.buckets[b] == 0 && b + 1 < h.buckets.size()) {
+        continue;
+      }
+      out += h.name + "_bucket{le=\"";
+      if (b < Histogram::kNumBounds) {
+        AppendU64(&out, Histogram::BucketUpperBound(b));
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out += "\n";
+    }
+    out += h.name + "_sum ";
+    AppendU64(&out, h.sum);
+    out += "\n";
+    out += h.name + "_count ";
+    AppendU64(&out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ntrace

@@ -3,7 +3,69 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/metrics/metrics.h"
+
 namespace ntrace {
+
+namespace {
+
+// Process-wide cache-manager counters (DESIGN.md §8); per-system CacheStats
+// stay the per-run source of truth, these expose the same activity live.
+struct CcMetrics {
+  Counter& copy_reads;
+  Counter& copy_read_hits;
+  Counter& copy_writes;
+  Counter& fault_irps;
+  Counter& fault_bytes;
+  Counter& readahead_irps;
+  Counter& readahead_bytes;
+  Counter& lazy_scans;
+  Counter& lazy_write_irps;
+  Counter& lazy_write_bytes;
+  Counter& flush_ops;
+  Counter& flush_bytes;
+  Counter& write_throttles;
+  Counter& paging_retries;
+  Counter& paging_read_errors;
+  Counter& paging_write_errors;
+
+  static CcMetrics& Get() {
+    static CcMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return CcMetrics{
+          r.GetCounter("ntrace_mm_copy_read_total", "Cache copy-reads (blocking and no-wait)"),
+          r.GetCounter("ntrace_mm_copy_read_hit_total",
+                       "Copy-reads served entirely from resident pages (section 9 hit ratio)"),
+          r.GetCounter("ntrace_mm_copy_write_total", "Cached writes (dirtying copies)"),
+          r.GetCounter("ntrace_mm_cache_fault_irp_total",
+                       "Synchronous paging-read IRPs issued on behalf of copy interfaces"),
+          r.GetCounter("ntrace_mm_cache_fault_bytes_total",
+                       "Bytes faulted in synchronously for copy interfaces"),
+          r.GetCounter("ntrace_mm_readahead_irp_total",
+                       "Speculative read-ahead paging IRPs (section 9.1)"),
+          r.GetCounter("ntrace_mm_readahead_bytes_total", "Bytes loaded by read-ahead"),
+          r.GetCounter("ntrace_mm_lazy_scan_total", "Lazy-writer scan passes (section 9.2)"),
+          r.GetCounter("ntrace_mm_lazy_write_irp_total",
+                       "Write-behind paging IRPs (lazy writer and explicit flushes)"),
+          r.GetCounter("ntrace_mm_lazy_write_bytes_total", "Bytes written behind"),
+          r.GetCounter("ntrace_mm_flush_op_total",
+                       "Explicit flush requests (FlushBuffers, write-through)"),
+          r.GetCounter("ntrace_mm_flush_bytes_total", "Bytes written by explicit flushes"),
+          r.GetCounter("ntrace_mm_write_throttle_total",
+                       "CcCanIWrite-style stalls under dirty-page pressure"),
+          r.GetCounter("ntrace_mm_paging_retry_total",
+                       "Paging transfers re-issued after injected device errors"),
+          r.GetCounter("ntrace_mm_paging_read_error_total",
+                       "Paging reads failed after bounded retries"),
+          r.GetCounter("ntrace_mm_paging_write_error_total",
+                       "Paging writes failed after bounded retries (pages discarded)"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 CacheManager::CacheManager(Engine& engine, IoManager& io, CacheConfig config, uint64_t rng_seed)
     : engine_(engine), io_(io), config_(config), rng_(rng_seed),
@@ -73,6 +135,7 @@ NtStatus CacheManager::CallWithPagingRetry(SharedCacheMap& map, Irp& irp) {
   NtStatus status = io_.CallDriver(map.device, irp);
   for (int retry = 0; NtDeviceError(status) && retry < kPagingIoRetries; ++retry) {
     ++stats_.paging_retries;
+    CcMetrics::Get().paging_retries.Inc();
     engine_.AdvanceBy(kPagingRetryDelay);
     status = io_.CallDriver(map.device, irp);
   }
@@ -92,6 +155,7 @@ void CacheManager::IssuePagingRead(SharedCacheMap& map, uint64_t offset, uint64_
     // The copy interface would raise to its caller; the failure is counted
     // and the pages are treated as filled so cache state stays consistent.
     ++stats_.paging_read_failures;
+    CcMetrics::Get().paging_read_errors.Inc();
   }
   const uint64_t first = PageIndex(offset);
   const uint64_t span = PageSpan(offset, length);
@@ -114,6 +178,7 @@ void CacheManager::IssuePagingWrite(SharedCacheMap& map, uint64_t offset, uint64
     // account for it (pages stay clean so teardown cannot loop forever on a
     // dead device); dirty_pages_discarded already tracks purge-path loss.
     ++stats_.paging_write_failures;
+    CcMetrics::Get().paging_write_errors.Inc();
     stats_.dirty_pages_discarded += PageSpan(offset, length);
   }
   const uint64_t first = PageIndex(offset);
@@ -139,9 +204,12 @@ uint64_t CacheManager::FaultMissingPages(SharedCacheMap& map, uint64_t offset, u
     }
     const uint64_t byte_off = run_start * kPageSize;
     const uint64_t byte_len = run_len * kPageSize;
-    ++((extra_flags & kIrpReadAhead) != 0 ? stats_.readahead_irps : stats_.fault_irps);
-    ((extra_flags & kIrpReadAhead) != 0 ? stats_.readahead_bytes : stats_.fault_bytes) +=
-        byte_len;
+    const bool read_ahead = (extra_flags & kIrpReadAhead) != 0;
+    ++(read_ahead ? stats_.readahead_irps : stats_.fault_irps);
+    (read_ahead ? stats_.readahead_bytes : stats_.fault_bytes) += byte_len;
+    CcMetrics& metrics = CcMetrics::Get();
+    (read_ahead ? metrics.readahead_irps : metrics.fault_irps).Inc();
+    (read_ahead ? metrics.readahead_bytes : metrics.fault_bytes).Inc(byte_len);
     IssuePagingRead(map, byte_off, byte_len, extra_flags);
     faulted += run_len;
     run_len = 0;
@@ -236,9 +304,12 @@ CacheManager::CopyResult CacheManager::CopyRead(FileObject& file, uint64_t offse
   assert(map != nullptr && "CopyRead without initialized caching");
   ++stats_.copy_reads;
   stats_.copy_read_bytes += length;
+  CcMetrics& metrics = CcMetrics::Get();
+  metrics.copy_reads.Inc();
   const uint64_t faulted = FaultMissingPages(*map, offset, length, 0);
   if (faulted == 0) {
     ++stats_.copy_read_hits;
+    metrics.copy_read_hits.Inc();
   }
   engine_.AdvanceBy(CopyCost(length));
   TrackReadAhead(*map, file, offset, length);
@@ -264,6 +335,9 @@ bool CacheManager::CopyReadNoWait(FileObject& file, uint64_t offset, uint32_t le
   ++stats_.copy_reads;
   ++stats_.copy_read_hits;
   stats_.copy_read_bytes += length;
+  CcMetrics& metrics = CcMetrics::Get();
+  metrics.copy_reads.Inc();
+  metrics.copy_read_hits.Inc();
   engine_.AdvanceBy(CopyCost(length));
   TrackReadAhead(*map, file, offset, length);
   *bytes_out = length;
@@ -278,10 +352,12 @@ uint64_t CacheManager::CopyWrite(FileObject& file, uint64_t offset, uint32_t len
   if (config_.capacity_pages > 0 &&
       pages_.dirty_pages() > config_.capacity_pages * 3 / 4) {
     ++stats_.write_throttles;
+    CcMetrics::Get().write_throttles.Inc();
     WriteDirtyRuns(*map, pages_.DirtyCountOf(map->node));
   }
   ++stats_.copy_writes;
   stats_.copy_write_bytes += length;
+  CcMetrics::Get().copy_writes.Inc();
   map->wrote_data = true;
 
   const uint64_t old_size = map->file_size;
@@ -300,6 +376,8 @@ uint64_t CacheManager::CopyWrite(FileObject& file, uint64_t offset, uint32_t len
       ++stats_.rmw_faults;
       ++stats_.fault_irps;
       stats_.fault_bytes += kPageSize;
+      CcMetrics::Get().fault_irps.Inc();
+      CcMetrics::Get().fault_bytes.Inc(kPageSize);
       IssuePagingRead(*map, page_start, kPageSize, 0);
     }
     pages_.MarkDirty(map->node, p, engine_.Now());
@@ -317,6 +395,7 @@ void CacheManager::FlushRange(FileObject& file, uint64_t offset, uint64_t length
     }
   }
   ++stats_.flush_ops;
+  CcMetrics::Get().flush_ops.Inc();
   const uint64_t flush_end = length == 0 ? UINT64_MAX : offset + length;
   const std::vector<uint64_t> dirty = pages_.DirtyPagesOf(map->node);
   uint64_t run_start = 0;
@@ -328,6 +407,8 @@ void CacheManager::FlushRange(FileObject& file, uint64_t offset, uint64_t length
     const uint64_t bytes = run_len * kPageSize;
     ++stats_.lazy_write_irps;  // Counted as write-behind traffic either way.
     stats_.flush_bytes += bytes;
+    CcMetrics::Get().lazy_write_irps.Inc();
+    CcMetrics::Get().flush_bytes.Inc(bytes);
     IssuePagingWrite(*map, run_start * kPageSize, bytes, 0);
     run_len = 0;
   };
@@ -416,6 +497,7 @@ void CacheManager::CleanupCacheMap(FileObject& file) {
 
 void CacheManager::LazyWriterScan() {
   ++stats_.lazy_scans;
+  CcMetrics::Get().lazy_scans.Inc();
   // Collect node keys first (teardown mutates maps_), in creation order:
   // hash-map order follows heap addresses and would break run determinism.
   std::vector<std::pair<uint64_t, const void*>> ordered;
@@ -472,6 +554,8 @@ uint64_t CacheManager::WriteDirtyRuns(SharedCacheMap& map, uint64_t max_pages) {
     const uint64_t byte_len = run_len * kPageSize;
     ++stats_.lazy_write_irps;
     stats_.lazy_write_bytes += byte_len;
+    CcMetrics::Get().lazy_write_irps.Inc();
+    CcMetrics::Get().lazy_write_bytes.Inc(byte_len);
     IssuePagingWrite(map, byte_off, byte_len, kIrpLazyWrite);
     written += run_len;
     run_len = 0;

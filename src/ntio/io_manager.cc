@@ -4,8 +4,56 @@
 #include <cassert>
 
 #include "src/base/format.h"
+#include "src/metrics/metrics.h"
 
 namespace ntrace {
+
+namespace {
+
+// Process-wide dispatch counters (DESIGN.md §8). Registered once; the
+// bundle caches references so the hot path never takes the registry lock.
+// Attempts are derivable (accepted + rejected), so no attempts counter is
+// maintained on the hot path.
+struct IoMetrics {
+  Counter& irp_dispatch;
+  Counter& fastio_read_accepted;
+  Counter& fastio_read_rejected;
+  Counter& fastio_write_accepted;
+  Counter& fastio_write_rejected;
+  Counter& app_read_irp;
+  Counter& app_write_irp;
+  Histogram& app_read_size;
+  Histogram& app_write_size;
+
+  static IoMetrics& Get() {
+    static IoMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return IoMetrics{
+          r.GetCounter("ntrace_ntio_irp_dispatch_total",
+                       "IRPs dispatched into a device stack (all majors, paging included)"),
+          r.GetCounter("ntrace_ntio_fastio_read_accepted_total",
+                       "FastIO reads the file system accepted (figure 13 numerator)"),
+          r.GetCounter("ntrace_ntio_fastio_read_rejected_total",
+                       "FastIO reads that fell back to the IRP path"),
+          r.GetCounter("ntrace_ntio_fastio_write_accepted_total",
+                       "FastIO writes the file system accepted"),
+          r.GetCounter("ntrace_ntio_fastio_write_rejected_total",
+                       "FastIO writes that fell back to the IRP path"),
+          r.GetCounter("ntrace_ntio_app_read_irp_total",
+                       "App-level reads that travelled the IRP path"),
+          r.GetCounter("ntrace_ntio_app_write_irp_total",
+                       "App-level writes that travelled the IRP path"),
+          r.GetHistogram("ntrace_ntio_app_read_size_bytes",
+                         "Requested size of app-level reads (figure 14)"),
+          r.GetHistogram("ntrace_ntio_app_write_size_bytes",
+                         "Requested size of app-level writes (figure 14)"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 IoManager::IoManager(Engine& engine, ProcessTable& processes, IoDispatchCosts costs)
     : engine_(engine), processes_(processes), costs_(costs) {}
@@ -77,6 +125,7 @@ void IoManager::DestroyFileObject(FileObject& file) { files_.erase(file.id()); }
 
 NtStatus IoManager::CallDriver(DeviceObject* device, Irp& irp) {
   ++irp_count_;
+  IoMetrics::Get().irp_dispatch.Inc();
   irp.issued = engine_.Now();
   const NtStatus status = device->driver()->DispatchIrp(device, irp);
   irp.completed = engine_.Now();
@@ -124,6 +173,8 @@ CreateResult IoManager::Create(const CreateRequest& request) {
 
 IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
   DeviceObject* top = file.device();
+  IoMetrics& metrics = IoMetrics::Get();
+  metrics.app_read_size.Observe(length);
   // FastIO is attempted only once the file system has initialized caching
   // for this file object and the open does not bypass the cache.
   if (file.caching_initialized && !file.no_intermediate_buffering) {
@@ -132,6 +183,7 @@ IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
     const FastIoResult r = top->driver()->FastIoRead(top, file, offset, length);
     if (r.possible) {
       ++fastio_read_hits_;
+      metrics.fastio_read_accepted.Inc();
       if (NtSuccess(r.status)) {
         file.bytes_read += r.bytes;
         ++file.read_ops;
@@ -139,7 +191,9 @@ IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
       }
       return {r.status, r.bytes, /*used_fastio=*/true};
     }
+    metrics.fastio_read_rejected.Inc();
   }
+  metrics.app_read_irp.Inc();
   Irp irp;
   irp.major = IrpMajor::kRead;
   irp.flags = kIrpSynchronousApi;
@@ -159,12 +213,15 @@ IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
 
 IoResult IoManager::Write(FileObject& file, uint64_t offset, uint32_t length) {
   DeviceObject* top = file.device();
+  IoMetrics& metrics = IoMetrics::Get();
+  metrics.app_write_size.Observe(length);
   if (file.caching_initialized && !file.no_intermediate_buffering && !file.write_through) {
     ++fastio_write_attempts_;
     engine_.AdvanceBy(costs_.fastio_overhead);
     const FastIoResult r = top->driver()->FastIoWrite(top, file, offset, length);
     if (r.possible) {
       ++fastio_write_hits_;
+      metrics.fastio_write_accepted.Inc();
       if (NtSuccess(r.status)) {
         file.bytes_written += r.bytes;
         ++file.write_ops;
@@ -172,7 +229,9 @@ IoResult IoManager::Write(FileObject& file, uint64_t offset, uint32_t length) {
       }
       return {r.status, r.bytes, /*used_fastio=*/true};
     }
+    metrics.fastio_write_rejected.Inc();
   }
+  metrics.app_write_irp.Inc();
   Irp irp;
   irp.major = IrpMajor::kWrite;
   irp.flags = kIrpSynchronousApi;

@@ -2,16 +2,57 @@
 
 #include <algorithm>
 
+#include "src/metrics/metrics.h"
+
 namespace ntrace {
+
+namespace {
+
+// Server-side ingest counters (DESIGN.md §8), aggregated across every
+// shard in the process -- the fleet's whole-collection view.
+struct IngestMetrics {
+  Counter& shipments_received;
+  Counter& duplicate_shipments;
+  Counter& out_of_order_shipments;
+  Counter& records_collected;
+  Counter& duplicate_records;
+  Counter& gap_events;
+
+  static IngestMetrics& Get() {
+    static IngestMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return IngestMetrics{
+          r.GetCounter("ntrace_server_shipments_received_total",
+                       "Sequence-numbered shipments arriving at collection servers"),
+          r.GetCounter("ntrace_server_duplicate_shipments_total",
+                       "Shipments discarded as duplicates (retry after ack loss)"),
+          r.GetCounter("ntrace_server_out_of_order_shipments_total",
+                       "Shipments that filled a hole behind a later sequence"),
+          r.GetCounter("ntrace_server_records_collected_total",
+                       "Trace records accepted into the collection"),
+          r.GetCounter("ntrace_server_duplicate_records_discarded_total",
+                       "Records discarded with duplicate shipments"),
+          r.GetCounter("ntrace_server_sequence_gap_events_total",
+                       "Ingests that exposed a sequence gap (later fills do not decrement)"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void CollectionServer::DeliverRecords(std::vector<TraceRecord> records) {
   ++deliveries_;
+  IngestMetrics::Get().records_collected.Inc(records.size());
   set_.records.insert(set_.records.end(), records.begin(), records.end());
 }
 
 void CollectionServer::DeliverShipment(const ShipmentHeader& header,
                                        std::vector<TraceRecord> records) {
   ++deliveries_;
+  IngestMetrics& metrics = IngestMetrics::Get();
+  metrics.shipments_received.Inc();
   StreamState& stream = streams_[header.system_id];
   ++stream.shipments_received;
   if (stream.Received(header.sequence)) {
@@ -19,16 +60,25 @@ void CollectionServer::DeliverShipment(const ShipmentHeader& header,
     // lost. Discard, count -- the records are already in the collection.
     ++stream.duplicate_shipments;
     stream.duplicate_records_discarded += records.size();
+    metrics.duplicate_shipments.Inc();
+    metrics.duplicate_records.Inc(records.size());
     return;
   }
   if (header.sequence < stream.max_sequence) {
     // A hole is being filled in: this sequence arrived after a later one
     // (retried shipment overtaken by its successors).
     ++stream.out_of_order_shipments;
+    metrics.out_of_order_shipments.Inc();
+  }
+  if (header.sequence > stream.max_sequence + 1) {
+    // Live gap detection: at least one earlier sequence has not arrived
+    // yet. Integrity reporting reconciles whether it ever does.
+    metrics.gap_events.Inc();
   }
   stream.received.insert(header.sequence);
   stream.max_sequence = std::max(stream.max_sequence, header.sequence);
   stream.records_collected += records.size();
+  metrics.records_collected.Inc(records.size());
   set_.records.insert(set_.records.end(), records.begin(), records.end());
 }
 

@@ -3,10 +3,58 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/metrics/metrics.h"
+
 namespace ntrace {
 
 namespace {
 constexpr size_t kNoBuffer = static_cast<size_t>(-1);
+
+// Agent-side pipeline counters (DESIGN.md §8). The retry-backlog gauge
+// aggregates across every live TraceBuffer in the process, giving the
+// fleet-wide backlog a sequential per-buffer counter cannot show.
+struct PipelineMetrics {
+  Counter& records_emitted;
+  Counter& records_dropped;
+  Counter& records_shed;
+  Counter& records_lost;
+  Counter& shipments;
+  Counter& shipment_attempts;
+  Counter& shipment_failures;
+  Counter& shipment_retries;
+  Counter& shipments_abandoned;
+  Gauge& retry_backlog;
+  Histogram& shipment_records;
+
+  static PipelineMetrics& Get() {
+    static PipelineMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return PipelineMetrics{
+          r.GetCounter("ntrace_trace_records_emitted_total",
+                       "Trace records emitted by filter drivers into agent buffers"),
+          r.GetCounter("ntrace_trace_records_dropped_total",
+                       "Records dropped because every storage buffer was in flight"),
+          r.GetCounter("ntrace_trace_records_shed_total",
+                       "Records load-shed while the retry backlog was above the watermark"),
+          r.GetCounter("ntrace_trace_records_lost_total",
+                       "Records lost with abandoned shipments"),
+          r.GetCounter("ntrace_trace_shipments_total", "Buffers shipped toward a server"),
+          r.GetCounter("ntrace_trace_shipment_attempts_total",
+                       "Shipment transmissions (first sends plus retries)"),
+          r.GetCounter("ntrace_trace_shipment_failures_total",
+                       "Transmissions that failed (fault-injected link)"),
+          r.GetCounter("ntrace_trace_shipment_retries_total",
+                       "Retries scheduled with exponential backoff"),
+          r.GetCounter("ntrace_trace_shipments_abandoned_total",
+                       "Shipments abandoned after max attempts or queue overflow"),
+          r.GetGauge("ntrace_trace_retry_backlog",
+                     "Shipments currently parked awaiting retry (all agents)"),
+          r.GetHistogram("ntrace_trace_shipment_record_count", "Records per shipped buffer"),
+      };
+    }();
+    return m;
+  }
+};
 }  // namespace
 
 TraceBuffer::TraceBuffer(Engine& engine, TraceSink& sink, SimDuration ship_latency_per_record,
@@ -23,13 +71,25 @@ TraceBuffer::TraceBuffer(Engine& engine, TraceSink& sink, SimDuration ship_laten
   }
 }
 
+TraceBuffer::~TraceBuffer() {
+  if (emitted_unreported_ > 0) {
+    PipelineMetrics::Get().records_emitted.Inc(emitted_unreported_);
+    emitted_unreported_ = 0;
+  }
+}
+
 void TraceBuffer::Append(const TraceRecord& record) {
+  // The emitted counter is batched: one fetch_add per shipped buffer (plus
+  // a final flush in the destructor), not one per record -- this is the
+  // hottest call in the process.
   ++records_emitted_;
+  ++emitted_unreported_;
   if (injector_ != nullptr && retry_backlog_ >= policy_.shed_watermark) {
     // Load shedding: the link is backlogged, sample the incoming stream and
     // account for every discard exactly.
     if (!jitter_rng_.Bernoulli(policy_.shed_keep_probability)) {
       ++records_shed_;
+      PipelineMetrics::Get().records_shed.Inc();
       return;
     }
   }
@@ -49,6 +109,7 @@ void TraceBuffer::Append(const TraceRecord& record) {
       // Every buffer is in flight: the overflow condition the paper's agent
       // watches for.
       ++records_dropped_;
+      PipelineMetrics::Get().records_dropped.Inc();
       return;
     }
     active_ = next;
@@ -65,6 +126,11 @@ void TraceBuffer::ShipBuffer(size_t index) {
   }
   in_flight_[index] = true;
   ++buffers_shipped_;
+  PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.shipments.Inc();
+  metrics.shipment_records.Observe(buffers_[index].size());
+  metrics.records_emitted.Inc(emitted_unreported_);
+  emitted_unreported_ = 0;
   Shipment shipment;
   shipment.header.system_id = system_id_;
   shipment.header.sequence = next_sequence_++;
@@ -82,6 +148,8 @@ void TraceBuffer::ShipBuffer(size_t index) {
 
 void TraceBuffer::CompleteAttempt(Shipment shipment, size_t free_buffer_index) {
   ++shipment_attempts_;
+  PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.shipment_attempts.Inc();
   if (free_buffer_index != kNoBuffer) {
     // The storage buffer is reusable as soon as the payload left the agent;
     // a failed shipment lives on in the retry queue, not in the buffer.
@@ -94,12 +162,14 @@ void TraceBuffer::CompleteAttempt(Shipment shipment, size_t free_buffer_index) {
     if (shipment.header.attempt > 1) {
       assert(retry_backlog_ > 0);
       --retry_backlog_;
+      metrics.retry_backlog.Add(-1);
     }
     records_concluded_ += shipment.payload.size();
     sink_.DeliverShipment(shipment.header, std::move(shipment.payload));
     return;
   }
   ++shipment_failures_;
+  metrics.shipment_failures.Inc();
   if (outcome.ack_lost) {
     // The payload arrived, only the acknowledgement was lost: the server
     // sees this sequence (and will see it again on retry -- its dedup path).
@@ -107,19 +177,23 @@ void TraceBuffer::CompleteAttempt(Shipment shipment, size_t free_buffer_index) {
   }
   if (shipment.header.attempt == 1) {
     ++retry_backlog_;
+    metrics.retry_backlog.Add(1);
     peak_retry_backlog_ = std::max(peak_retry_backlog_, retry_backlog_);
   }
   if (shipment.header.attempt >= policy_.max_attempts) {
     Abandon(shipment);
     --retry_backlog_;
+    metrics.retry_backlog.Add(-1);
     return;
   }
   if (shipment.header.attempt == 1 && retry_backlog_ > policy_.retry_queue_limit) {
     // Retry queue full: abandon immediately rather than grow without bound.
     Abandon(shipment);
     --retry_backlog_;
+    metrics.retry_backlog.Add(-1);
     return;
   }
+  metrics.shipment_retries.Inc();
   ScheduleRetry(std::move(shipment));
 }
 
@@ -148,6 +222,8 @@ void TraceBuffer::ScheduleRetry(Shipment shipment) {
 
 void TraceBuffer::Abandon(Shipment& shipment) {
   ++shipments_abandoned_;
+  PipelineMetrics::Get().shipments_abandoned.Inc();
+  PipelineMetrics::Get().records_lost.Inc(shipment.payload.size());
   records_lost_ += shipment.payload.size();
   records_concluded_ += shipment.payload.size();
   abandoned_.emplace_back(shipment.header.sequence, shipment.payload.size());

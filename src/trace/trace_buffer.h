@@ -92,6 +92,8 @@ class TraceBuffer {
               SimDuration ship_latency_per_record = SimDuration::Micros(2),
               uint32_t system_id = 0, ShipmentPolicy policy = {},
               FaultInjector* injector = nullptr);
+  // Flushes the batched emitted-records metric (see Append).
+  ~TraceBuffer();
 
   // Appends a record; rotates/ships the active buffer when full.
   void Append(const TraceRecord& record);
@@ -159,6 +161,9 @@ class TraceBuffer {
   size_t peak_retry_backlog_ = 0;
 
   uint64_t records_emitted_ = 0;
+  // Emitted records not yet added to the process-wide metrics counter;
+  // flushed on each shipment and at destruction (hot-path batching).
+  uint64_t emitted_unreported_ = 0;
   uint64_t records_written_ = 0;
   uint64_t records_dropped_ = 0;
   uint64_t records_shed_ = 0;

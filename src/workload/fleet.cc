@@ -2,12 +2,59 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iterator>
 #include <string>
 #include <thread>
 #include <utility>
 
 namespace ntrace {
+
+namespace {
+
+// Fleet-runner efficiency counters (DESIGN.md §8). Wall-clock based: they
+// describe the simulator's own performance, never simulated time, and are
+// deliberately excluded from the bit-identical output contract.
+struct FleetMetrics {
+  Counter& runs;
+  Counter& systems;
+  Counter& system_records;
+  Counter& system_wall_us_sum;
+  Counter& merge_wall_us_sum;
+  Histogram& system_wall_us;
+  Gauge& last_merge_wall_us;
+
+  static FleetMetrics& Get() {
+    static FleetMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return FleetMetrics{
+          r.GetCounter("ntrace_fleet_runs_total", "RunFleet invocations"),
+          r.GetCounter("ntrace_fleet_systems_simulated_total",
+                       "Systems simulated to completion by fleet workers"),
+          r.GetCounter("ntrace_fleet_system_records_total",
+                       "Trace records emitted across simulated systems"),
+          r.GetCounter("ntrace_fleet_system_wall_us_total",
+                       "Wall-clock microseconds workers spent simulating systems "
+                       "(with ntrace_fleet_system_records_total: per-worker records/sec)"),
+          r.GetCounter("ntrace_fleet_merge_wall_us_total",
+                       "Wall-clock microseconds spent in the post-join k-way merge"),
+          r.GetHistogram("ntrace_fleet_system_wall_us",
+                         "Wall-clock microseconds to simulate one system"),
+          r.GetGauge("ntrace_fleet_last_merge_wall_us",
+                     "Wall-clock microseconds of the most recent merge"),
+      };
+    }();
+    return m;
+  }
+};
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               since)
+      .count();
+}
+
+}  // namespace
 
 CacheStats FleetResult::TotalCache() const {
   CacheStats total;
@@ -88,6 +135,7 @@ struct SystemShard {
 };
 
 void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
+  const auto start = std::chrono::steady_clock::now();
   SimulatedSystem system(options, shard->server);
   shard->stats = system.Run();
   for (const auto& [pid, info] : system.processes().all()) {
@@ -96,6 +144,12 @@ void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
   // Time-sort this shard's stream while still on the worker; the global
   // merge then only k-way merges already-sorted runs.
   shard->server.Finish();
+  FleetMetrics& metrics = FleetMetrics::Get();
+  const int64_t wall_us = ElapsedMicros(start);
+  metrics.systems.Inc();
+  metrics.system_records.Inc(shard->stats.trace_emitted);
+  metrics.system_wall_us_sum.Inc(static_cast<uint64_t>(wall_us));
+  metrics.system_wall_us.Observe(static_cast<uint64_t>(wall_us));
 }
 
 int ResolveThreads(int requested, int systems) {
@@ -111,6 +165,10 @@ int ResolveThreads(int requested, int systems) {
 }  // namespace
 
 FleetResult RunFleet(const FleetConfig& config) {
+  // Snapshot the cumulative process-wide registry now so the result can
+  // carry only this run's delta.
+  const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
+  FleetMetrics::Get().runs.Inc();
   // Pre-draw every system's seed from the seeder in system-id order; the
   // per-system seed stream is then fixed before any worker starts.
   std::vector<SystemOptions> all_options;
@@ -169,6 +227,7 @@ FleetResult RunFleet(const FleetConfig& config) {
   // Merge shards in system-id order: stats, process names, the integrity
   // report (agent-side counters reconciled against each shard server's
   // sequence bookkeeping, faults included), then the trace streams.
+  const auto merge_start = std::chrono::steady_clock::now();
   FleetResult result;
   std::vector<std::vector<TraceRecord>> sorted_runs;
   sorted_runs.reserve(shards.size());
@@ -214,6 +273,11 @@ FleetResult RunFleet(const FleetConfig& config) {
   // Build the lookup index while still single-threaded so concurrent
   // analyses never race on the lazy build.
   result.trace.EnsureNameIndex();
+  const int64_t merge_us = ElapsedMicros(merge_start);
+  FleetMetrics& metrics = FleetMetrics::Get();
+  metrics.merge_wall_us_sum.Inc(static_cast<uint64_t>(merge_us));
+  metrics.last_merge_wall_us.Set(merge_us);
+  result.metrics = MetricsRegistry::Global().Snapshot().DeltaFrom(metrics_before);
   return result;
 }
 

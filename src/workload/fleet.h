@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/metrics/metrics.h"
 #include "src/trace/collection_server.h"
 #include "src/workload/simulated_system.h"
 
@@ -69,6 +70,13 @@ struct FleetResult {
   // collected, overflow-dropped, shed, lost or unresolved -- AllAccounted()
   // holds for clean and faulted runs alike.
   IntegrityReport integrity;
+  // What the process-wide metrics registry recorded during this run (delta
+  // of global snapshots taken at RunFleet entry/exit, so earlier runs in
+  // the same process do not bleed in; concurrent RunFleet calls would).
+  // Tests cross-check these against the analysis layer: the FastIO share
+  // and cache hit ratio here equal the figure-13 / section-9 values
+  // computed from the merged trace of the same run.
+  MetricsSnapshot metrics;
 
   // Aggregates across systems.
   CacheStats TotalCache() const;
