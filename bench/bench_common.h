@@ -14,14 +14,49 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 
 #include "src/study/study.h"
 
+// Counting allocator hook (DESIGN.md §9). A bench that wants to report heap
+// allocation counts invokes NTRACE_DEFINE_ALLOC_HOOK() once at namespace
+// scope in its own translation unit; that replaces the binary's global
+// operator new with a relaxed-atomic counting wrapper (one add per
+// allocation -- noise-level next to the allocation itself) and makes
+// ntrace::bench_alloc_count() return the running total. Only the defining
+// binary pays for it; the hook is deliberately NOT defined here so ordinary
+// benches keep the stock allocator.
+#define NTRACE_DEFINE_ALLOC_HOOK()                                                       \
+  namespace ntrace {                                                                     \
+  std::atomic<size_t> g_bench_alloc_count{0};                                            \
+  }                                                                                      \
+  static void* NtraceCountedAlloc(std::size_t size) {                                    \
+    ::ntrace::g_bench_alloc_count.fetch_add(1, std::memory_order_relaxed);               \
+    if (void* p = std::malloc(size == 0 ? 1 : size)) {                                   \
+      return p;                                                                          \
+    }                                                                                    \
+    throw std::bad_alloc();                                                              \
+  }                                                                                      \
+  void* operator new(std::size_t size) { return NtraceCountedAlloc(size); }              \
+  void* operator new[](std::size_t size) { return NtraceCountedAlloc(size); }            \
+  void operator delete(void* p) noexcept { std::free(p); }                               \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }                  \
+  void operator delete[](void* p) noexcept { std::free(p); }                             \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace ntrace {
+
+// Running global allocation count when NTRACE_DEFINE_ALLOC_HOOK() is in the
+// binary; declared here so shared code can read it.
+extern std::atomic<size_t> g_bench_alloc_count;
+inline size_t bench_alloc_count() {
+  return g_bench_alloc_count.load(std::memory_order_relaxed);
+}
 
 // Strict parse: the whole value must be consumed. A typo in a scale knob
 // (NTRACE_ACTIVITY=0..5) silently running the default-sized bench would

@@ -23,8 +23,22 @@ void Run() {
   PrintCdfSeries("Figure 2: read runs by bytes", runs.read_runs_by_bytes, points, "bytes");
   PrintCdfSeries("Figure 2: write runs by bytes", runs.write_runs_by_bytes, points, "bytes");
 
+  // Cross-check against the single-pass scan's streaming run extraction
+  // (DESIGN.md §9): same definition of a run, computed per file object in
+  // one record sweep instead of from materialized per-session op vectors.
+  const TraceScan& scan = study.Scan();
+  PrintCdfSeries("Figure 1 cross-check: read runs by count (streaming scan)",
+                 scan.read_runs_by_count, points, "bytes");
+  PrintCdfSeries("Figure 2 cross-check: read runs by bytes (streaming scan)",
+                 scan.read_runs_by_bytes, points, "bytes");
+
   ComparisonReport report("Figures 1-2 shape checks");
   report.AddRow("read-run 80th percentile", "~11KB", FormatBytes(runs.read_p80_bytes), "");
+  report.AddRow("read-run 80th percentile (streaming scan)", "~11KB",
+                FormatBytes(scan.read_runs_by_count.empty()
+                                ? 0
+                                : scan.read_runs_by_count.Percentile(0.80)),
+                "single-pass cross-check");
   const double count_frac_10k = runs.read_runs_by_count.empty()
                                     ? 0
                                     : runs.read_runs_by_count.Fraction(10 * 1024);

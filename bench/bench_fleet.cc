@@ -30,6 +30,11 @@
 #include "bench/bench_common.h"
 #include "src/metrics/metrics.h"
 
+// Count every heap allocation in this binary: the per-run delta lands in
+// BENCH_fleet.json ("alloc_count") so hot-path allocation regressions show
+// up in the tracked trajectory, not just as wall-clock noise.
+NTRACE_DEFINE_ALLOC_HOOK()
+
 namespace ntrace {
 namespace {
 
@@ -135,12 +140,18 @@ struct RunSample {
   double seconds = 0;
   uint64_t records = 0;
   uint64_t fingerprint = 0;
-  MetricsSnapshot metrics;  // This run's delta (FleetResult::metrics).
+  uint64_t alloc_count = 0;  // Heap allocations during RunFleet (hook delta).
+  MetricsSnapshot metrics;   // This run's delta (FleetResult::metrics).
+
+  double NsPerRecord() const {
+    return records > 0 ? seconds * 1e9 / static_cast<double>(records) : 0.0;
+  }
 };
 
 RunSample TimeOneRun(const FleetConfig& base, int threads) {
   FleetConfig config = base;
   config.threads = threads;
+  const size_t allocs_before = bench_alloc_count();
   const auto start = std::chrono::steady_clock::now();
   const FleetResult result = RunFleet(config);
   const auto stop = std::chrono::steady_clock::now();
@@ -148,6 +159,7 @@ RunSample TimeOneRun(const FleetConfig& base, int threads) {
   sample.threads = threads;
   sample.seconds = std::chrono::duration<double>(stop - start).count();
   sample.records = result.trace.records.size();
+  sample.alloc_count = bench_alloc_count() - allocs_before;
   sample.fingerprint = FleetFingerprint(result);
   sample.metrics = result.metrics;
   return sample;
@@ -182,8 +194,8 @@ int main() {
   std::printf("ntrace fleet benchmark: %d systems, %d day(s), seed %llu, %d hardware thread(s)\n",
               config.fleet.TotalSystems(), config.fleet.days,
               static_cast<unsigned long long>(config.fleet.seed), hw);
-  std::printf("%8s %10s %14s %9s %10s\n", "threads", "wall s", "records/s", "speedup",
-              "identical");
+  std::printf("%8s %10s %14s %12s %12s %9s %10s\n", "threads", "wall s", "records/s",
+              "ns/record", "allocs", "speedup", "identical");
 
   std::vector<RunSample> samples;
   double baseline_seconds = 0;
@@ -197,8 +209,9 @@ int main() {
     }
     const bool identical = s.fingerprint == baseline_fingerprint;
     all_identical = all_identical && identical;
-    std::printf("%8d %10.3f %14.0f %9.2f %10s\n", threads, s.seconds,
-                s.seconds > 0 ? static_cast<double>(s.records) / s.seconds : 0.0,
+    std::printf("%8d %10.3f %14.0f %12.1f %12llu %9.2f %10s\n", threads, s.seconds,
+                s.seconds > 0 ? static_cast<double>(s.records) / s.seconds : 0.0, s.NsPerRecord(),
+                static_cast<unsigned long long>(s.alloc_count),
                 s.seconds > 0 ? baseline_seconds / s.seconds : 0.0, identical ? "yes" : "NO");
     samples.push_back(s);
   }
@@ -285,9 +298,11 @@ int main() {
     const RunSample& s = samples[i];
     std::fprintf(f,
                  "    {\"threads\": %d, \"seconds\": %.4f, \"records_per_sec\": %.0f, "
+                 "\"ns_per_record\": %.1f, \"alloc_count\": %llu, "
                  "\"speedup\": %.3f, \"identical\": %s}%s\n",
                  s.threads, s.seconds,
                  s.seconds > 0 ? static_cast<double>(s.records) / s.seconds : 0.0,
+                 s.NsPerRecord(), static_cast<unsigned long long>(s.alloc_count),
                  s.seconds > 0 ? baseline_seconds / s.seconds : 0.0,
                  s.fingerprint == baseline_fingerprint ? "true" : "false",
                  i + 1 < samples.size() ? "," : "");

@@ -47,6 +47,21 @@ void Run() {
                 std::to_string(cache.seteof_on_close), "count");
   report.AddRow("write throttles under dirty pressure", "(CcCanIWrite)",
                 std::to_string(stats.write_throttles), "");
+
+  // Paging transfer mix straight from the single-pass scan (DESIGN.md §9):
+  // the share of IRP traffic the cache/VM managers generate themselves.
+  const TraceScan& scan = study.Scan();
+  const double paging_records =
+      static_cast<double>(scan.paging_reads + scan.paging_writes);
+  report.AddRow("paging transfers (Cc/Mm-issued IRPs)", "-",
+                FormatF(paging_records, 0),
+                "read-ahead " + std::to_string(scan.readahead_records) + ", lazy-write " +
+                    std::to_string(scan.lazywrite_records));
+  if (scan.paging_writes > 0) {
+    report.AddPercent("paging writes issued by the lazy writer", 100,
+                      static_cast<double>(scan.lazywrite_records) / scan.paging_writes,
+                      "rest: flush/teardown");
+  }
   report.Print();
 
   // --- Ablation 1: read-ahead policy ----------------------------------------

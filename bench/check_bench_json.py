@@ -14,7 +14,15 @@ import math
 import sys
 
 REQUIRED_TOP_KEYS = ["bench", "systems", "days", "seed", "records", "all_identical", "runs"]
-REQUIRED_RUN_KEYS = ["threads", "seconds", "records_per_sec", "speedup", "identical"]
+REQUIRED_RUN_KEYS = [
+    "threads",
+    "seconds",
+    "records_per_sec",
+    "ns_per_record",
+    "alloc_count",
+    "speedup",
+    "identical",
+]
 # Present only in benches that carry the metrics layer (bench_fleet).
 FLEET_METRIC_KEYS = [
     "records_emitted",

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Advisory perf-floor check for BENCH_*.json files.
+
+Compares each bench's sequential (threads=1) records_per_sec against the
+committed floor in bench/PERF_FLOOR.json. A miss emits a GitHub Actions
+::warning annotation and still exits 0: CI runners vary too much for a hard
+gate, but a warning on the PR makes a hot-path regression visible before the
+tracked trajectory absorbs it. Structural problems (unreadable file, missing
+keys) DO fail -- those mean the emitter broke, not the machine. Stdlib only.
+
+Usage: check_perf_floor.py PERF_FLOOR.json BENCH.json [BENCH.json...]
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_file(path, floors):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+    bench = doc.get("bench")
+    floor = floors.get(bench)
+    if floor is None:
+        print(f"{path}: no floor registered for bench {bench!r}; skipping")
+        return 0
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(path, '"runs" missing or empty')
+    baseline = runs[0]
+    if not isinstance(baseline, dict) or baseline.get("threads") != 1:
+        return fail(path, "runs[0] is not the threads=1 baseline")
+    rps = baseline.get("records_per_sec")
+    if not isinstance(rps, (int, float)):
+        return fail(path, f"runs[0].records_per_sec is not a number: {rps!r}")
+    if rps < floor:
+        # Advisory: annotate, don't gate.
+        print(
+            f"::warning file={path}::bench {bench!r} sequential throughput "
+            f"{rps:.0f} records/s is below the advisory floor {floor:.0f}; "
+            f"possible hot-path regression"
+        )
+    else:
+        print(f"{path}: {bench!r} {rps:.0f} records/s >= floor {floor:.0f} (ok)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            floors = json.load(f)["floors"]
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        return fail(argv[1], f"cannot load floors: {e}")
+    errors = 0
+    for path in argv[2:]:
+        errors += check_file(path, floors)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,14 +1,17 @@
 #include "src/analysis/cache_analysis.h"
 
-#include <unordered_map>
-
 namespace ntrace {
 
 CacheAnalysisResult CacheAnalyzer::Analyze(const TraceSet& trace,
                                            const InstanceTable& instances,
                                            const CacheStats& stats) {
+  return Analyze(TraceScan::Run(trace), instances, stats);
+}
+
+CacheAnalysisResult CacheAnalyzer::Analyze(const TraceScan& scan,
+                                           const InstanceTable& instances,
+                                           const CacheStats& stats) {
   CacheAnalysisResult out;
-  (void)trace;
 
   if (stats.copy_reads > 0) {
     out.cached_read_fraction =
@@ -99,15 +102,10 @@ CacheAnalysisResult CacheAnalyzer::Analyze(const TraceSet& trace,
     }
   }
 
-  // Flush users: sessions with an observed FLUSH_BUFFERS record.
-  std::unordered_map<uint64_t, bool> flushed;
-  for (const TraceRecord& r : trace.records) {
-    if (r.Event() == TraceEvent::kIrpFlushBuffers) {
-      flushed[r.file_object] = true;
-    }
-  }
+  // Flush users: sessions with an observed FLUSH_BUFFERS record (collected
+  // by the single-pass scan).
   for (const Instance& s : instances.rows()) {
-    if (!s.open_failed && s.writes() > 0 && flushed.count(s.file_object) != 0) {
+    if (!s.open_failed && s.writes() > 0 && scan.FileWasFlushed(s.file_object)) {
       ++flushing_sessions;
     }
   }

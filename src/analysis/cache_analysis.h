@@ -5,6 +5,7 @@
 #ifndef SRC_ANALYSIS_CACHE_ANALYSIS_H_
 #define SRC_ANALYSIS_CACHE_ANALYSIS_H_
 
+#include "src/analysis/trace_scan.h"
 #include "src/mm/cache_manager.h"
 #include "src/trace/trace_set.h"
 #include "src/tracedb/instance_table.h"
@@ -36,6 +37,12 @@ struct CacheAnalysisResult {
 
 class CacheAnalyzer {
  public:
+  // The flush-user set comes from the shared single-pass scan (DESIGN.md
+  // §9); everything else is session- or stats-derived.
+  static CacheAnalysisResult Analyze(const TraceScan& scan, const InstanceTable& instances,
+                                     const CacheStats& stats);
+
+  // Convenience overload performing its own scan.
   static CacheAnalysisResult Analyze(const TraceSet& trace, const InstanceTable& instances,
                                      const CacheStats& stats);
 };

@@ -3,62 +3,26 @@
 namespace ntrace {
 
 FastIoResultAnalysis FastIoAnalyzer::Analyze(const TraceSet& trace) {
+  return Analyze(TraceScan::Run(trace));
+}
+
+FastIoResultAnalysis FastIoAnalyzer::Analyze(const TraceScan& scan) {
   FastIoResultAnalysis out;
-  uint64_t fastio_reads = 0;
-  uint64_t irp_reads = 0;
-  uint64_t fastio_writes = 0;
-  uint64_t irp_writes = 0;
+  out.fastio_read_latency_us = scan.fastio_read_latency_us;
+  out.fastio_write_latency_us = scan.fastio_write_latency_us;
+  out.irp_read_latency_us = scan.irp_read_latency_us;
+  out.irp_write_latency_us = scan.irp_write_latency_us;
+  out.fastio_read_size = scan.fastio_read_size;
+  out.fastio_write_size = scan.fastio_write_size;
+  out.irp_read_size = scan.irp_read_size;
+  out.irp_write_size = scan.irp_write_size;
+  out.read_fallbacks = scan.read_fallbacks;
+  out.write_fallbacks = scan.write_fallbacks;
 
-  for (const TraceRecord& r : trace.records) {
-    if (r.IsPagingIo()) {
-      continue;
-    }
-    const double latency_us = r.Latency().ToMicrosF();
-    const double size = static_cast<double>(r.length);
-    switch (r.Event()) {
-      case TraceEvent::kFastIoRead:
-        ++fastio_reads;
-        out.fastio_read_latency_us.Add(latency_us);
-        out.fastio_read_size.Add(size);
-        break;
-      case TraceEvent::kFastIoWrite:
-        ++fastio_writes;
-        out.fastio_write_latency_us.Add(latency_us);
-        out.fastio_write_size.Add(size);
-        break;
-      case TraceEvent::kIrpRead:
-        ++irp_reads;
-        out.irp_read_latency_us.Add(latency_us);
-        out.irp_read_size.Add(size);
-        break;
-      case TraceEvent::kIrpWrite:
-        ++irp_writes;
-        out.irp_write_latency_us.Add(latency_us);
-        out.irp_write_size.Add(size);
-        break;
-      case TraceEvent::kFastIoReadNotPossible:
-        ++out.read_fallbacks;
-        break;
-      case TraceEvent::kFastIoWriteNotPossible:
-        ++out.write_fallbacks;
-        break;
-      default:
-        break;
-    }
-  }
-  out.fastio_read_latency_us.Finalize();
-  out.fastio_write_latency_us.Finalize();
-  out.irp_read_latency_us.Finalize();
-  out.irp_write_latency_us.Finalize();
-  out.fastio_read_size.Finalize();
-  out.fastio_write_size.Finalize();
-  out.irp_read_size.Finalize();
-  out.irp_write_size.Finalize();
-
-  const uint64_t reads = fastio_reads + irp_reads;
-  const uint64_t writes = fastio_writes + irp_writes;
-  out.fastio_read_share = reads > 0 ? static_cast<double>(fastio_reads) / reads : 0;
-  out.fastio_write_share = writes > 0 ? static_cast<double>(fastio_writes) / writes : 0;
+  const uint64_t reads = scan.fastio_reads + scan.irp_reads;
+  const uint64_t writes = scan.fastio_writes + scan.irp_writes;
+  out.fastio_read_share = reads > 0 ? static_cast<double>(scan.fastio_reads) / reads : 0;
+  out.fastio_write_share = writes > 0 ? static_cast<double>(scan.fastio_writes) / writes : 0;
   return out;
 }
 

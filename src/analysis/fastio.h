@@ -4,6 +4,7 @@
 #ifndef SRC_ANALYSIS_FASTIO_H_
 #define SRC_ANALYSIS_FASTIO_H_
 
+#include "src/analysis/trace_scan.h"
 #include "src/stats/descriptive.h"
 #include "src/trace/trace_set.h"
 
@@ -33,7 +34,11 @@ struct FastIoResultAnalysis {
 class FastIoAnalyzer {
  public:
   // App-level requests only (paging I/O always travels the IRP path by
-  // construction and would skew the comparison).
+  // construction and would skew the comparison). The per-record work lives
+  // in the shared single-pass scan (DESIGN.md §9).
+  static FastIoResultAnalysis Analyze(const TraceScan& scan);
+
+  // Convenience overload performing its own scan.
   static FastIoResultAnalysis Analyze(const TraceSet& trace);
 };
 

@@ -1,151 +1,50 @@
 #include "src/analysis/operations.h"
 
-#include <algorithm>
-#include <set>
-
-#include "src/tracedb/dimensions.h"
-
 namespace ntrace {
 
 OperationResult OperationAnalyzer::Analyze(const TraceSet& trace,
                                            const InstanceTable& instances) {
+  return Analyze(TraceScan::Run(trace), instances);
+}
+
+OperationResult OperationAnalyzer::Analyze(const TraceScan& scan,
+                                           const InstanceTable& instances) {
   OperationResult out;
 
-  uint64_t reads_512_4096 = 0;
-  uint64_t reads_small = 0;
-  uint64_t reads_large = 0;
-  uint64_t read_failures = 0;
-  uint64_t opens = 0;
-  uint64_t open_failures = 0;
-  uint64_t open_notfound = 0;
-  uint64_t open_collision = 0;
-  uint64_t control_total = 0;
-  uint64_t control_failures = 0;
-  uint64_t non_interactive = 0;
-  uint64_t attributed = 0;
-  std::set<std::pair<uint32_t, int64_t>> active_seconds;
-
-  for (const TraceRecord& r : trace.records) {
-    if (r.IsPagingIo()) {
-      continue;
-    }
-    active_seconds.insert({r.system_id, r.complete_ticks / SimDuration::kTicksPerSecond});
-
-    // Section 7: attribution to processes that take no direct user input.
-    const std::string* pname = trace.ProcessNameOf(r.process_id);
-    if (pname != nullptr) {
-      ++attributed;
-      if (ProcessDimension::Classify(*pname) != ProcessClass::kInteractive) {
-        ++non_interactive;
-      }
-    }
-
-    switch (r.Event()) {
-      case TraceEvent::kIrpRead:
-      case TraceEvent::kFastIoRead: {
-        ++out.reads;
-        out.read_sizes.Add(static_cast<double>(r.length));
-        if (r.length == 512 || r.length == 4096) {
-          ++reads_512_4096;
-        } else if (r.length >= 2 && r.length <= 8) {
-          ++reads_small;
-        } else if (r.length >= 48 * 1024) {
-          ++reads_large;
-        }
-        if (NtError(r.Status()) || r.Status() == NtStatus::kEndOfFile) {
-          ++read_failures;
-        }
-        break;
-      }
-      case TraceEvent::kIrpWrite:
-      case TraceEvent::kFastIoWrite:
-        ++out.writes;
-        out.write_sizes.Add(static_cast<double>(r.length));
-        if (NtError(r.Status())) {
-          ++out.write_failures;
-        }
-        break;
-      case TraceEvent::kIrpCreate:
-        ++opens;
-        if (NtError(r.Status())) {
-          ++open_failures;
-          if (r.Status() == NtStatus::kObjectNameNotFound ||
-              r.Status() == NtStatus::kObjectPathNotFound) {
-            ++open_notfound;
-          } else if (r.Status() == NtStatus::kObjectNameCollision) {
-            ++open_collision;
-          }
-        }
-        break;
-      case TraceEvent::kIrpDirectoryControl:
-        ++out.directory_ops;
-        ++control_total;
-        if (NtError(r.Status())) {
-          ++control_failures;
-        }
-        break;
-      case TraceEvent::kIrpFileSystemControl:
-      case TraceEvent::kIrpDeviceControl:
-        ++out.control_ops;
-        ++control_total;
-        if (static_cast<FsctlCode>(r.fsctl) == FsctlCode::kIsVolumeMounted) {
-          ++out.volume_mounted_checks;
-        }
-        if (NtError(r.Status())) {
-          ++control_failures;
-        }
-        break;
-      case TraceEvent::kIrpQueryInformation:
-      case TraceEvent::kIrpQueryVolumeInformation:
-      case TraceEvent::kIrpFlushBuffers:
-      case TraceEvent::kIrpLockControl:
-      case TraceEvent::kFastIoQueryBasicInfo:
-      case TraceEvent::kFastIoQueryStandardInfo:
-        ++out.control_ops;
-        ++control_total;
-        if (NtError(r.Status())) {
-          ++control_failures;
-        }
-        break;
-      case TraceEvent::kIrpSetInformation:
-        ++out.control_ops;
-        ++control_total;
-        if (static_cast<FileInfoClass>(r.info_class) == FileInfoClass::kEndOfFile) {
-          ++out.seteof_ops;
-        }
-        if (NtError(r.Status())) {
-          ++control_failures;
-        }
-        break;
-      default:
-        break;
-    }
+  // Per-record aggregates come straight from the shared single-pass scan.
+  out.reads = scan.reads;
+  out.writes = scan.writes;
+  out.read_sizes = scan.read_sizes;
+  out.write_sizes = scan.write_sizes;
+  out.write_failures = scan.write_failures;
+  out.directory_ops = scan.directory_ops;
+  out.control_ops = scan.control_ops;
+  out.volume_mounted_checks = scan.volume_mounted_checks;
+  out.seteof_ops = scan.seteof_ops;
+  if (scan.reads > 0) {
+    out.reads_512_or_4096_fraction = static_cast<double>(scan.reads_512_or_4096) / scan.reads;
+    out.reads_small_fraction = static_cast<double>(scan.reads_small) / scan.reads;
+    out.reads_48k_plus_fraction = static_cast<double>(scan.reads_48k_plus) / scan.reads;
+    out.read_failure_fraction = static_cast<double>(scan.read_failures) / scan.reads;
   }
-
-  out.read_sizes.Finalize();
-  out.write_sizes.Finalize();
-  if (out.reads > 0) {
-    out.reads_512_or_4096_fraction = static_cast<double>(reads_512_4096) / out.reads;
-    out.reads_small_fraction = static_cast<double>(reads_small) / out.reads;
-    out.reads_48k_plus_fraction = static_cast<double>(reads_large) / out.reads;
-    out.read_failure_fraction = static_cast<double>(read_failures) / out.reads;
+  if (scan.opens > 0) {
+    out.open_failure_fraction = static_cast<double>(scan.open_failures) / scan.opens;
   }
-  if (opens > 0) {
-    out.open_failure_fraction = static_cast<double>(open_failures) / opens;
+  if (scan.open_failures > 0) {
+    out.open_notfound_share = static_cast<double>(scan.open_notfound) / scan.open_failures;
+    out.open_collision_share = static_cast<double>(scan.open_collision) / scan.open_failures;
   }
-  if (open_failures > 0) {
-    out.open_notfound_share = static_cast<double>(open_notfound) / open_failures;
-    out.open_collision_share = static_cast<double>(open_collision) / open_failures;
+  if (scan.control_total > 0) {
+    out.control_failure_fraction =
+        static_cast<double>(scan.control_failures) / scan.control_total;
   }
-  if (control_total > 0) {
-    out.control_failure_fraction = static_cast<double>(control_failures) / control_total;
+  if (scan.attributed > 0) {
+    out.non_interactive_access_fraction =
+        static_cast<double>(scan.non_interactive) / scan.attributed;
   }
-  if (attributed > 0) {
-    out.non_interactive_access_fraction = static_cast<double>(non_interactive) / attributed;
-  }
-  if (!active_seconds.empty()) {
+  if (scan.active_seconds > 0) {
     out.volume_checks_per_active_second =
-        static_cast<double>(out.volume_mounted_checks) / active_seconds.size();
+        static_cast<double>(out.volume_mounted_checks) / scan.active_seconds;
   }
 
   // --- Per-session statistics -------------------------------------------------

@@ -5,6 +5,7 @@
 #ifndef SRC_ANALYSIS_OPERATIONS_H_
 #define SRC_ANALYSIS_OPERATIONS_H_
 
+#include "src/analysis/trace_scan.h"
 #include "src/stats/descriptive.h"
 #include "src/trace/trace_set.h"
 #include "src/tracedb/instance_table.h"
@@ -51,6 +52,11 @@ struct OperationResult {
 
 class OperationAnalyzer {
  public:
+  // Consumes the shared single-pass scan (DESIGN.md §9); only the
+  // session-level statistics still walk the instance table here.
+  static OperationResult Analyze(const TraceScan& scan, const InstanceTable& instances);
+
+  // Convenience overload performing its own scan.
   static OperationResult Analyze(const TraceSet& trace, const InstanceTable& instances);
 };
 

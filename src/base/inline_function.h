@@ -1,0 +1,98 @@
+// Move-only callable wrapper with fixed inline storage and no heap fallback.
+//
+// std::function is the allocation engine of a discrete-event simulator: every
+// capture over ~16 bytes goes to the heap, once per scheduled event and again
+// per copy out of the priority queue. InlineFunction stores the callable
+// in-place (kCapacity bytes, sized for the largest hot-path capture: the
+// trace-buffer shipment retry lambda) and refuses oversized captures at
+// compile time instead of silently spilling -- the zero-allocation guarantee
+// of the event loop is a static property, not a fast path that can degrade.
+//
+// The type-erasure vtable is three free functions (invoke / relocate /
+// destroy); relocate is move-construct-into + destroy-source, which is all a
+// slot pool ever needs.
+
+#ifndef SRC_BASE_INLINE_FUNCTION_H_
+#define SRC_BASE_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ntrace {
+
+class InlineFunction {
+ public:
+  // Sized for the trace-buffer shipment lambdas (~80 bytes) with headroom;
+  // the static_assert below turns any future oversized capture into a
+  // compile error rather than a heap allocation.
+  static constexpr size_t kCapacity = 104;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "capture too large for InlineFunction; shrink it or raise kCapacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t), "overaligned capture");
+    static_assert(std::is_invocable_r_v<void, Fn&>, "callable must be invocable as void()");
+    new (storage_) Fn(std::forward<F>(fn));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    relocate_ = [](void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      new (dst) Fn(std::move(*from));
+      from->~Fn();
+    };
+    destroy_ = [](void* s) { static_cast<Fn*>(s)->~Fn(); };
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { Reset(); }
+
+  // Destroys the held callable (no-op when empty).
+  void Reset() {
+    if (destroy_ != nullptr) {
+      destroy_(storage_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+      destroy_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() { invoke_(storage_); }
+
+ private:
+  void MoveFrom(InlineFunction& other) {
+    if (other.destroy_ != nullptr) {
+      other.relocate_(storage_, other.storage_);
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      destroy_ = other.destroy_;
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_BASE_INLINE_FUNCTION_H_

@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
-
-#include "src/base/format.h"
+#include <string_view>
 
 namespace ntrace {
 
-bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b) const {
+namespace {
+
+// Steps `rest` past its next non-empty backslash-separated component
+// (same semantics as SplitPath, minus the per-component std::string).
+bool NextPathPart(std::string_view* rest, std::string_view* part) {
+  while (!rest->empty()) {
+    const size_t end = rest->find('\\');
+    std::string_view p;
+    if (end == std::string_view::npos) {
+      p = *rest;
+      *rest = {};
+    } else {
+      p = rest->substr(0, end);
+      *rest = rest->substr(end + 1);
+    }
+    if (!p.empty()) {
+      *part = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CaseInsensitiveLess::operator()(std::string_view a, std::string_view b) const {
   const size_t n = std::min(a.size(), b.size());
   for (size_t i = 0; i < n; ++i) {
     const int ca = std::tolower(static_cast<unsigned char>(a[i]));
@@ -38,7 +62,7 @@ std::string FileNode::RelativePath() const {
   return out;
 }
 
-FileNode* FileNode::FindChild(const std::string& name) {
+FileNode* FileNode::FindChild(std::string_view name) {
   auto it = children_.find(name);
   return it == children_.end() ? nullptr : it->second.get();
 }
@@ -51,7 +75,7 @@ FileNode* FileNode::AddChild(std::unique_ptr<FileNode> child) {
   return raw;
 }
 
-std::unique_ptr<FileNode> FileNode::DetachChild(const std::string& name) {
+std::unique_ptr<FileNode> FileNode::DetachChild(std::string_view name) {
   auto it = children_.find(name);
   if (it == children_.end()) {
     return nullptr;
@@ -72,7 +96,9 @@ Volume::Volume(std::string label, uint64_t capacity_bytes, bool maintain_access_
 
 FileNode* Volume::Lookup(const std::string& relative_path) {
   FileNode* node = root_.get();
-  for (const std::string& part : SplitPath(relative_path)) {
+  std::string_view rest = relative_path;
+  std::string_view part;
+  while (NextPathPart(&rest, &part)) {
     if (!node->directory()) {
       return nullptr;
     }
@@ -85,24 +111,27 @@ FileNode* Volume::Lookup(const std::string& relative_path) {
 }
 
 FileNode* Volume::LookupParent(const std::string& relative_path, std::string* leaf) {
-  const std::vector<std::string> parts = SplitPath(relative_path);
-  if (parts.empty()) {
+  std::string_view rest = relative_path;
+  std::string_view current;
+  if (!NextPathPart(&rest, &current)) {
     return nullptr;  // The root has no parent.
   }
   FileNode* node = root_.get();
-  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+  std::string_view next;
+  while (NextPathPart(&rest, &next)) {
     if (!node->directory()) {
       return nullptr;
     }
-    node = node->FindChild(parts[i]);
+    node = node->FindChild(current);
     if (node == nullptr) {
       return nullptr;
     }
+    current = next;
   }
   if (!node->directory()) {
     return nullptr;
   }
-  *leaf = parts.back();
+  leaf->assign(current.data(), current.size());
   return node;
 }
 
@@ -121,16 +150,22 @@ FileNode* Volume::CreateNode(FileNode* parent, const std::string& name, bool dir
 
 FileNode* Volume::CreatePath(const std::string& relative_path, bool directory,
                              uint32_t attributes, SimTime now) {
-  const std::vector<std::string> parts = SplitPath(relative_path);
   FileNode* node = root_.get();
-  for (size_t i = 0; i < parts.size(); ++i) {
-    const bool leaf = i + 1 == parts.size();
-    FileNode* child = node->FindChild(parts[i]);
+  std::string_view rest = relative_path;
+  std::string_view part;
+  bool have_part = NextPathPart(&rest, &part);
+  while (have_part) {
+    std::string_view next;
+    const bool have_next = NextPathPart(&rest, &next);
+    const bool leaf = !have_next;
+    FileNode* child = node->FindChild(part);
     if (child == nullptr) {
-      child = CreateNode(node, parts[i], leaf ? directory : true,
+      child = CreateNode(node, std::string(part), leaf ? directory : true,
                          leaf ? attributes : kAttrDirectory, now);
     }
     node = child;
+    part = next;
+    have_part = have_next;
   }
   return node;
 }

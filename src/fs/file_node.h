@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/time.h"
@@ -25,9 +26,13 @@
 
 namespace ntrace {
 
-// NT file names are case-insensitive (case-preserving).
+// NT file names are case-insensitive (case-preserving). Transparent so
+// child lookups take string_views: path resolution happens on every open,
+// and materializing each component as a std::string was a measurable slice
+// of the hot path (DESIGN.md §9).
 struct CaseInsensitiveLess {
-  bool operator()(const std::string& a, const std::string& b) const;
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const;
 };
 
 // FileNode embeds FcbHeader, so `size` and `allocation` below are the fields
@@ -52,9 +57,9 @@ class FileNode : public FcbHeader {
   // Children (directories only).
   using ChildMap = std::map<std::string, std::unique_ptr<FileNode>, CaseInsensitiveLess>;
   const ChildMap& children() const { return children_; }
-  FileNode* FindChild(const std::string& name);
+  FileNode* FindChild(std::string_view name);
   FileNode* AddChild(std::unique_ptr<FileNode> child);
-  std::unique_ptr<FileNode> DetachChild(const std::string& name);
+  std::unique_ptr<FileNode> DetachChild(std::string_view name);
 
   // --- Attributes (sizes live in the FcbHeader base) ---
   uint32_t attributes = kAttrNormal;

@@ -33,8 +33,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "src/base/flat_map.h"
 #include "src/base/rng.h"
 #include "src/base/time.h"
 #include "src/mm/page_store.h"
@@ -222,8 +222,18 @@ class CacheManager {
   Rng rng_;
   PageStore pages_;
   CacheStats stats_;
-  std::unordered_map<const void*, std::unique_ptr<SharedCacheMap>> maps_;
-  std::unordered_map<uint64_t, PrivateCacheMap> private_maps_;  // Keyed by file-object id.
+  // Flat maps (DESIGN.md §9): FindMap runs on every cached transfer. The
+  // lazy-writer scan sorts by creation_order before acting, so the
+  // unspecified iteration order never reaches the trace.
+  FlatMap<const void*, std::unique_ptr<SharedCacheMap>> maps_;
+  FlatMap<uint64_t, PrivateCacheMap> private_maps_;  // Keyed by file-object id.
+  // Maps whose final close happened but whose teardown has not completed.
+  // Lets the once-per-simulated-second scan skip entirely when there are no
+  // dirty pages and no teardowns to finish (the common idle case).
+  uint64_t pending_teardowns_ = 0;
+  // Scan scratch (reused: the scan runs once per simulated second and must
+  // not allocate in the idle steady state).
+  std::vector<std::pair<uint64_t, const void*>> scan_scratch_;
   bool started_ = false;
 };
 

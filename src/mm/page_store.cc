@@ -5,136 +5,202 @@
 
 namespace ntrace {
 
+namespace {
+
+// Sorted-vector set operations for the per-node page lists. Lists are short
+// (a node's resident/dirty pages) and pages arrive mostly in ascending
+// order, so the memmove beats per-element hash nodes by a wide margin.
+void SortedInsert(std::vector<uint64_t>& v, uint64_t page) {
+  auto it = std::lower_bound(v.begin(), v.end(), page);
+  if (it == v.end() || *it != page) {
+    v.insert(it, page);
+  }
+}
+
+void SortedErase(std::vector<uint64_t>& v, uint64_t page) {
+  auto it = std::lower_bound(v.begin(), v.end(), page);
+  if (it != v.end() && *it == page) {
+    v.erase(it);
+  }
+}
+
+}  // namespace
+
 PageStore::PageStore(uint64_t capacity_pages) : capacity_pages_(capacity_pages) {}
+
+uint32_t PageStore::AllocSlot() {
+  if (free_head_ != kNil) {
+    const uint32_t s = free_head_;
+    free_head_ = slots_[s].next;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void PageStore::FreeSlot(uint32_t s) {
+  slots_[s].next = free_head_;
+  free_head_ = s;
+}
+
+void PageStore::LruPushFront(uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.prev = kNil;
+  slot.next = lru_head_;
+  if (lru_head_ != kNil) {
+    slots_[lru_head_].prev = s;
+  }
+  lru_head_ = s;
+  if (lru_tail_ == kNil) {
+    lru_tail_ = s;
+  }
+}
+
+void PageStore::LruUnlink(uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.prev != kNil) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    lru_head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    lru_tail_ = slot.prev;
+  }
+}
 
 bool PageStore::Insert(const void* node, uint64_t page, SimTime now) {
   const PageKey key{node, page};
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  if (index_.find(key) != index_.end()) {
     Touch(node, page);
     return false;
   }
-  lru_.push_front(key);
-  Entry entry;
-  entry.lru_it = lru_.begin();
-  entry.dirtied_at = now;
-  entries_.emplace(key, entry);
-  pages_by_node_[node].insert(page);
+  const uint32_t s = AllocSlot();
+  Slot& slot = slots_[s];
+  slot.key = key;
+  slot.dirty = false;
+  slot.pinned = false;
+  slot.dirtied_at = now;
+  LruPushFront(s);
+  index_.emplace(key, s);
+  SortedInsert(pages_by_node_[node], page);
   EvictIfNeeded();
   return true;
 }
 
 bool PageStore::IsResident(const void* node, uint64_t page) const {
-  return entries_.count(PageKey{node, page}) != 0;
+  return index_.count(PageKey{node, page}) != 0;
 }
 
 void PageStore::MarkDirty(const void* node, uint64_t page, SimTime now) {
   const PageKey key{node, page};
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
     // Create the entry already-dirty so concurrent eviction pressure can
     // never reclaim it between insertion and dirtying.
-    lru_.push_front(key);
-    Entry entry;
-    entry.lru_it = lru_.begin();
-    entry.dirty = true;
-    entry.dirtied_at = now;
-    entries_.emplace(key, entry);
-    pages_by_node_[node].insert(page);
-    dirty_by_node_[node].insert(page);
+    const uint32_t s = AllocSlot();
+    Slot& slot = slots_[s];
+    slot.key = key;
+    slot.dirty = true;
+    slot.pinned = false;
+    slot.dirtied_at = now;
+    LruPushFront(s);
+    index_.emplace(key, s);
+    SortedInsert(pages_by_node_[node], page);
+    SortedInsert(dirty_by_node_[node], page);
     ++total_dirty_;
     EvictIfNeeded();
     return;
   }
-  if (!it->second.dirty) {
-    it->second.dirty = true;
-    it->second.dirtied_at = now;
-    dirty_by_node_[node].insert(page);
+  Slot& slot = slots_[it->second];
+  if (!slot.dirty) {
+    slot.dirty = true;
+    slot.dirtied_at = now;
+    SortedInsert(dirty_by_node_[node], page);
     ++total_dirty_;
   }
 }
 
 void PageStore::MarkClean(const void* node, uint64_t page) {
   const PageKey key{node, page};
-  auto it = entries_.find(key);
-  if (it == entries_.end() || !it->second.dirty) {
+  auto it = index_.find(key);
+  if (it == index_.end() || !slots_[it->second].dirty) {
     return;
   }
-  it->second.dirty = false;
+  slots_[it->second].dirty = false;
   auto nit = dirty_by_node_.find(node);
   if (nit != dirty_by_node_.end()) {
-    nit->second.erase(page);
-    if (nit->second.empty()) {
-      dirty_by_node_.erase(nit);
-    }
+    SortedErase(nit->second, page);
   }
   assert(total_dirty_ > 0);
   --total_dirty_;
 }
 
 bool PageStore::IsDirty(const void* node, uint64_t page) const {
-  auto it = entries_.find(PageKey{node, page});
-  return it != entries_.end() && it->second.dirty;
+  auto it = index_.find(PageKey{node, page});
+  return it != index_.end() && slots_[it->second].dirty;
 }
 
 void PageStore::Touch(const void* node, uint64_t page) {
-  auto it = entries_.find(PageKey{node, page});
-  if (it == entries_.end()) {
+  auto it = index_.find(PageKey{node, page});
+  if (it == index_.end()) {
     return;
   }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  it->second.lru_it = lru_.begin();
+  const uint32_t s = it->second;
+  if (lru_head_ == s) {
+    return;
+  }
+  LruUnlink(s);
+  LruPushFront(s);
 }
 
 void PageStore::Pin(const void* node, uint64_t page) {
-  auto it = entries_.find(PageKey{node, page});
-  if (it != entries_.end()) {
-    it->second.pinned = true;
+  auto it = index_.find(PageKey{node, page});
+  if (it != index_.end()) {
+    slots_[it->second].pinned = true;
   }
 }
 
 void PageStore::Unpin(const void* node, uint64_t page) {
-  auto it = entries_.find(PageKey{node, page});
-  if (it != entries_.end()) {
-    it->second.pinned = false;
+  auto it = index_.find(PageKey{node, page});
+  if (it != index_.end()) {
+    slots_[it->second].pinned = false;
   }
 }
 
 void PageStore::RemoveEntry(const PageKey& key) {
-  auto it = entries_.find(key);
-  assert(it != entries_.end());
-  if (it->second.dirty) {
+  auto it = index_.find(key);
+  assert(it != index_.end());
+  const uint32_t s = it->second;
+  if (slots_[s].dirty) {
     assert(total_dirty_ > 0);
     --total_dirty_;
     auto dit = dirty_by_node_.find(key.node);
     if (dit != dirty_by_node_.end()) {
-      dit->second.erase(key.page);
-      if (dit->second.empty()) {
-        dirty_by_node_.erase(dit);
-      }
+      SortedErase(dit->second, key.page);
     }
   }
   auto pit = pages_by_node_.find(key.node);
   if (pit != pages_by_node_.end()) {
-    pit->second.erase(key.page);
-    if (pit->second.empty()) {
-      pages_by_node_.erase(pit);
-    }
+    SortedErase(pit->second, key.page);
   }
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+  LruUnlink(s);
+  index_.erase(it);
+  FreeSlot(s);
 }
 
 uint64_t PageStore::PurgeNode(const void* node) {
   auto pit = pages_by_node_.find(node);
-  if (pit == pages_by_node_.end()) {
+  if (pit == pages_by_node_.end() || pit->second.empty()) {
     return 0;
   }
-  const std::vector<uint64_t> pages(pit->second.begin(), pit->second.end());
+  // Copy first: RemoveEntry edits the per-node list as it goes.
+  drop_scratch_ = pit->second;
   uint64_t dirty_discarded = 0;
-  for (uint64_t page : pages) {
+  for (uint64_t page : drop_scratch_) {
     const PageKey key{node, page};
-    if (entries_.at(key).dirty) {
+    if (slots_[index_.at(key)].dirty) {
       ++dirty_discarded;
     }
     RemoveEntry(key);
@@ -144,19 +210,16 @@ uint64_t PageStore::PurgeNode(const void* node) {
 
 uint64_t PageStore::TruncateNode(const void* node, uint64_t first_page_to_drop) {
   auto pit = pages_by_node_.find(node);
-  if (pit == pages_by_node_.end()) {
+  if (pit == pages_by_node_.end() || pit->second.empty()) {
     return 0;
   }
-  std::vector<uint64_t> to_drop;
-  for (uint64_t page : pit->second) {
-    if (page >= first_page_to_drop) {
-      to_drop.push_back(page);
-    }
-  }
+  const std::vector<uint64_t>& pages = pit->second;
+  const auto cut = std::lower_bound(pages.begin(), pages.end(), first_page_to_drop);
+  drop_scratch_.assign(cut, pages.end());
   uint64_t dirty_discarded = 0;
-  for (uint64_t page : to_drop) {
+  for (uint64_t page : drop_scratch_) {
     const PageKey key{node, page};
-    if (entries_.at(key).dirty) {
+    if (slots_[index_.at(key)].dirty) {
       ++dirty_discarded;
     }
     RemoveEntry(key);
@@ -165,14 +228,11 @@ uint64_t PageStore::TruncateNode(const void* node, uint64_t first_page_to_drop) 
 }
 
 std::vector<uint64_t> PageStore::DirtyPagesOf(const void* node) const {
-  std::vector<uint64_t> pages;
   auto it = dirty_by_node_.find(node);
   if (it == dirty_by_node_.end()) {
-    return pages;
+    return {};
   }
-  pages.assign(it->second.begin(), it->second.end());
-  std::sort(pages.begin(), pages.end());
-  return pages;
+  return it->second;  // Maintained sorted.
 }
 
 uint64_t PageStore::DirtyCountOf(const void* node) const {
@@ -181,28 +241,27 @@ uint64_t PageStore::DirtyCountOf(const void* node) const {
 }
 
 void PageStore::EvictIfNeeded() {
-  if (capacity_pages_ == 0 || entries_.size() <= capacity_pages_ || lru_.empty()) {
+  if (capacity_pages_ == 0 || index_.size() <= capacity_pages_ || lru_head_ == kNil) {
     return;
   }
   // Scan from the LRU end, skipping dirty/pinned pages. The MRU front entry
   // (typically the page being inserted right now) is never evicted. When
   // everything is dirty or pinned the store over-commits; the cache
   // manager's write throttling brings it back under budget.
-  auto it = std::prev(lru_.end());
-  while (entries_.size() > capacity_pages_) {
-    const bool at_front = it == lru_.begin();
-    const PageKey key = *it;
-    const Entry& entry = entries_.at(key);
-    const bool evictable = !entry.dirty && !entry.pinned && !at_front;
-    auto prev = at_front ? lru_.begin() : std::prev(it);
-    if (evictable) {
+  uint32_t s = lru_tail_;
+  while (index_.size() > capacity_pages_) {
+    const bool at_front = s == lru_head_;
+    const Slot& slot = slots_[s];
+    const uint32_t prev = slot.prev;
+    const PageKey key = slot.key;  // RemoveEntry recycles the slot.
+    if (!slot.dirty && !slot.pinned && !at_front) {
       RemoveEntry(key);
       ++evictions_;
     }
     if (at_front) {
       break;
     }
-    it = prev;
+    s = prev;
   }
 }
 

@@ -12,11 +12,9 @@
 #define SRC_MM_PAGE_STORE_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/base/flat_map.h"
 #include "src/base/time.h"
 
 namespace ntrace {
@@ -86,18 +84,30 @@ class PageStore {
   std::vector<uint64_t> DirtyPagesOf(const void* node) const;
   uint64_t DirtyCountOf(const void* node) const;
 
-  uint64_t resident_pages() const { return entries_.size(); }
+  uint64_t resident_pages() const { return index_.size(); }
   uint64_t dirty_pages() const { return total_dirty_; }
   uint64_t capacity_pages() const { return capacity_pages_; }
   uint64_t evictions() const { return evictions_; }
 
  private:
-  struct Entry {
-    std::list<PageKey>::iterator lru_it;
+  // Pages live in a recycled slot pool threaded with intrusive LRU links
+  // (DESIGN.md §9): insert/evict/touch churn must not allocate in steady
+  // state, which rules out std::list nodes and per-node hash-set nodes.
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    PageKey key;
+    SimTime dirtied_at;
+    uint32_t prev = kNil;  // LRU neighbor toward the MRU front.
+    uint32_t next = kNil;  // LRU neighbor toward the LRU tail / free chain.
     bool dirty = false;
     bool pinned = false;
-    SimTime dirtied_at;
   };
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t s);
+  void LruPushFront(uint32_t s);
+  void LruUnlink(uint32_t s);
 
   // Evict clean unpinned LRU pages until under capacity. Dirty pages are
   // never evicted here (the lazy writer cleans them first); if everything is
@@ -108,10 +118,18 @@ class PageStore {
   void RemoveEntry(const PageKey& key);
 
   uint64_t capacity_pages_;
-  std::list<PageKey> lru_;  // Front = most recently used.
-  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
-  std::unordered_map<const void*, std::unordered_set<uint64_t>> pages_by_node_;
-  std::unordered_map<const void*, std::unordered_set<uint64_t>> dirty_by_node_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNil;  // Chained through Slot::next.
+  uint32_t lru_head_ = kNil;   // Most recently used.
+  uint32_t lru_tail_ = kNil;   // Least recently used.
+  // Flat maps (DESIGN.md §9): every cached read/write probes index_, so the
+  // probe must stay within one cache line instead of chasing nodes. The
+  // per-node page lists are kept sorted (pages cluster, lists are short);
+  // emptied lists keep their map entry so re-dirtying reuses capacity.
+  FlatMap<PageKey, uint32_t, PageKeyHash> index_;
+  FlatMap<const void*, std::vector<uint64_t>> pages_by_node_;
+  FlatMap<const void*, std::vector<uint64_t>> dirty_by_node_;
+  std::vector<uint64_t> drop_scratch_;  // Purge/truncate work list.
   uint64_t total_dirty_ = 0;
   uint64_t evictions_ = 0;
 };

@@ -36,14 +36,14 @@ NtStatus VmManager::CallWithPagingRetry(FileObject& file, Irp& irp) {
 }
 
 void VmManager::IssuePagingRead(Section& s, uint64_t offset, uint64_t length) {
-  Irp irp;
-  irp.major = IrpMajor::kRead;
-  irp.flags = kIrpPagingIo;
-  irp.file_object = s.file;
-  irp.process_id = s.file->process_id();
-  irp.params.offset = offset;
-  irp.params.length = static_cast<uint32_t>(length);
-  if (NtDeviceError(CallWithPagingRetry(*s.file, irp))) {
+  PooledIrp irp(io_.irp_pool());
+  irp->major = IrpMajor::kRead;
+  irp->flags = kIrpPagingIo;
+  irp->file_object = s.file;
+  irp->process_id = s.file->process_id();
+  irp->params.offset = offset;
+  irp->params.length = static_cast<uint32_t>(length);
+  if (NtDeviceError(CallWithPagingRetry(*s.file, *irp))) {
     // Retries exhausted: NT would raise an in-page error in the faulting
     // thread. The failure is counted, never silent; the pages are still
     // mapped in so the workload can proceed (analyses see the errored IRPs
@@ -115,14 +115,14 @@ void VmManager::DeleteSection(uint64_t section_id) {
   if (cache_.FindMap(s.node) == nullptr && cache_.pages().DirtyCountOf(s.node) > 0) {
     const std::vector<uint64_t> dirty = cache_.pages().DirtyPagesOf(s.node);
     for (uint64_t p : dirty) {
-      Irp irp;
-      irp.major = IrpMajor::kWrite;
-      irp.flags = kIrpPagingIo;
-      irp.file_object = s.file;
-      irp.process_id = s.file->process_id();
-      irp.params.offset = p * kPageSize;
-      irp.params.length = static_cast<uint32_t>(kPageSize);
-      if (NtDeviceError(CallWithPagingRetry(*s.file, irp))) {
+      PooledIrp irp(io_.irp_pool());
+      irp->major = IrpMajor::kWrite;
+      irp->flags = kIrpPagingIo;
+      irp->file_object = s.file;
+      irp->process_id = s.file->process_id();
+      irp->params.offset = p * kPageSize;
+      irp->params.length = static_cast<uint32_t>(kPageSize);
+      if (NtDeviceError(CallWithPagingRetry(*s.file, *irp))) {
         ++stats_.paging_write_failures;
       }
       cache_.pages().MarkClean(s.node, p);

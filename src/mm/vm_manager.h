@@ -16,8 +16,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "src/base/flat_map.h"
 #include "src/mm/cache_manager.h"
 #include "src/ntio/io_manager.h"
 #include "src/sim/engine.h"
@@ -94,7 +94,7 @@ class VmManager {
   IoManager& io_;
   CacheManager& cache_;
   VmStats stats_;
-  std::unordered_map<uint64_t, Section> sections_;
+  FlatMap<uint64_t, Section> sections_;  // Probed on every mapped fault.
   uint64_t next_id_ = 1;
 };
 

@@ -150,25 +150,25 @@ CreateResult IoManager::Create(const CreateRequest& request) {
   fo->temporary = (request.file_attributes & kAttrTemporary) != 0;
   fo->opened_at = engine_.Now();
 
-  Irp irp;
-  irp.major = IrpMajor::kCreate;
-  irp.flags = kIrpSynchronousApi;
-  irp.file_object = fo;
-  irp.process_id = request.process_id;
-  irp.path = request.path;
-  irp.params.disposition = request.disposition;
-  irp.params.desired_access = request.desired_access;
-  irp.params.create_options = request.create_options;
-  irp.params.file_attributes = request.file_attributes;
-  irp.params.share_access = request.share_access;
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kCreate;
+  irp->flags = kIrpSynchronousApi;
+  irp->file_object = fo;
+  irp->process_id = request.process_id;
+  irp->path = request.path;
+  irp->params.disposition = request.disposition;
+  irp->params.desired_access = request.desired_access;
+  irp->params.create_options = request.create_options;
+  irp->params.file_attributes = request.file_attributes;
+  irp->params.share_access = request.share_access;
 
   engine_.AdvanceBy(costs_.irp_overhead);
-  const NtStatus status = CallDriver(top, irp);
+  const NtStatus status = CallDriver(top, *irp);
   if (NtError(status)) {
     DestroyFileObject(*fo);
-    return {status, nullptr, irp.result.create_action};
+    return {status, nullptr, irp->result.create_action};
   }
-  return {status, fo, irp.result.create_action};
+  return {status, fo, irp->result.create_action};
 }
 
 IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
@@ -194,21 +194,21 @@ IoResult IoManager::Read(FileObject& file, uint64_t offset, uint32_t length) {
     metrics.fastio_read_rejected.Inc();
   }
   metrics.app_read_irp.Inc();
-  Irp irp;
-  irp.major = IrpMajor::kRead;
-  irp.flags = kIrpSynchronousApi;
-  irp.file_object = &file;
-  irp.process_id = file.process_id();
-  irp.params.offset = offset;
-  irp.params.length = length;
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kRead;
+  irp->flags = kIrpSynchronousApi;
+  irp->file_object = &file;
+  irp->process_id = file.process_id();
+  irp->params.offset = offset;
+  irp->params.length = length;
   engine_.AdvanceBy(costs_.irp_overhead);
-  const NtStatus status = CallDriver(top, irp);
+  const NtStatus status = CallDriver(top, *irp);
   if (NtSuccess(status)) {
-    file.bytes_read += irp.result.information;
+    file.bytes_read += irp->result.information;
     ++file.read_ops;
-    file.current_byte_offset = offset + irp.result.information;
+    file.current_byte_offset = offset + irp->result.information;
   }
-  return {status, irp.result.information, /*used_fastio=*/false};
+  return {status, irp->result.information, /*used_fastio=*/false};
 }
 
 IoResult IoManager::Write(FileObject& file, uint64_t offset, uint32_t length) {
@@ -232,24 +232,24 @@ IoResult IoManager::Write(FileObject& file, uint64_t offset, uint32_t length) {
     metrics.fastio_write_rejected.Inc();
   }
   metrics.app_write_irp.Inc();
-  Irp irp;
-  irp.major = IrpMajor::kWrite;
-  irp.flags = kIrpSynchronousApi;
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kWrite;
+  irp->flags = kIrpSynchronousApi;
   if (file.write_through) {
-    irp.flags |= kIrpWriteThrough;
+    irp->flags |= kIrpWriteThrough;
   }
-  irp.file_object = &file;
-  irp.process_id = file.process_id();
-  irp.params.offset = offset;
-  irp.params.length = length;
+  irp->file_object = &file;
+  irp->process_id = file.process_id();
+  irp->params.offset = offset;
+  irp->params.length = length;
   engine_.AdvanceBy(costs_.irp_overhead);
-  const NtStatus status = CallDriver(top, irp);
+  const NtStatus status = CallDriver(top, *irp);
   if (NtSuccess(status)) {
-    file.bytes_written += irp.result.information;
+    file.bytes_written += irp->result.information;
     ++file.write_ops;
-    file.current_byte_offset = offset + irp.result.information;
+    file.current_byte_offset = offset + irp->result.information;
   }
-  return {status, irp.result.information, /*used_fastio=*/false};
+  return {status, irp->result.information, /*used_fastio=*/false};
 }
 
 IoResult IoManager::ReadNext(FileObject& file, uint32_t length) {
@@ -260,20 +260,13 @@ IoResult IoManager::WriteNext(FileObject& file, uint32_t length) {
   return Write(file, file.current_byte_offset, length);
 }
 
-NtStatus IoManager::SendSimpleIrp(FileObject& file, IrpMajor major, IrpParameters params,
-                                  IrpResult* result) {
-  Irp irp;
+NtStatus IoManager::SendIrp(FileObject& file, IrpMajor major, Irp& irp) {
   irp.major = major;
   irp.flags = kIrpSynchronousApi;
   irp.file_object = &file;
   irp.process_id = file.process_id();
-  irp.params = std::move(params);
   engine_.AdvanceBy(costs_.irp_overhead);
-  const NtStatus status = CallDriver(file.device(), irp);
-  if (result != nullptr) {
-    *result = irp.result;
-  }
-  return status;
+  return CallDriver(file.device(), irp);
 }
 
 NtStatus IoManager::QueryBasicInfo(FileObject& file, FileBasicInfo* out) {
@@ -283,10 +276,10 @@ NtStatus IoManager::QueryBasicInfo(FileObject& file, FileBasicInfo* out) {
   if (top->driver()->FastIoQueryBasicInfo(top, file, out)) {
     return NtStatus::kSuccess;
   }
-  IrpParameters params;
-  params.info_class = FileInfoClass::kBasic;
-  params.basic_out = out;
-  return SendSimpleIrp(file, IrpMajor::kQueryInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kBasic;
+  irp->params.basic_out = out;
+  return SendIrp(file, IrpMajor::kQueryInformation, *irp);
 }
 
 NtStatus IoManager::QueryStandardInfo(FileObject& file, FileStandardInfo* out) {
@@ -295,72 +288,73 @@ NtStatus IoManager::QueryStandardInfo(FileObject& file, FileStandardInfo* out) {
   if (top->driver()->FastIoQueryStandardInfo(top, file, out)) {
     return NtStatus::kSuccess;
   }
-  IrpParameters params;
-  params.info_class = FileInfoClass::kStandard;
-  params.standard_out = out;
-  return SendSimpleIrp(file, IrpMajor::kQueryInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kStandard;
+  irp->params.standard_out = out;
+  return SendIrp(file, IrpMajor::kQueryInformation, *irp);
 }
 
 NtStatus IoManager::SetBasicInfo(FileObject& file, const FileBasicInfo& info) {
-  IrpParameters params;
-  params.info_class = FileInfoClass::kBasic;
-  params.basic_in = info;
-  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kBasic;
+  irp->params.basic_in = info;
+  return SendIrp(file, IrpMajor::kSetInformation, *irp);
 }
 
 NtStatus IoManager::SetEndOfFile(FileObject& file, uint64_t size) {
-  IrpParameters params;
-  params.info_class = FileInfoClass::kEndOfFile;
-  params.new_size = size;
-  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kEndOfFile;
+  irp->params.new_size = size;
+  return SendIrp(file, IrpMajor::kSetInformation, *irp);
 }
 
 NtStatus IoManager::SetDispositionDelete(FileObject& file, bool delete_file) {
-  IrpParameters params;
-  params.info_class = FileInfoClass::kDisposition;
-  params.delete_disposition = delete_file;
-  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kDisposition;
+  irp->params.delete_disposition = delete_file;
+  return SendIrp(file, IrpMajor::kSetInformation, *irp);
 }
 
 NtStatus IoManager::Rename(FileObject& file, const std::string& new_path) {
-  IrpParameters params;
-  params.info_class = FileInfoClass::kRename;
-  params.rename_target = new_path;
-  return SendSimpleIrp(file, IrpMajor::kSetInformation, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.info_class = FileInfoClass::kRename;
+  irp->params.rename_target = new_path;
+  return SendIrp(file, IrpMajor::kSetInformation, *irp);
 }
 
 NtStatus IoManager::Flush(FileObject& file) {
-  return SendSimpleIrp(file, IrpMajor::kFlushBuffers, IrpParameters{});
+  PooledIrp irp(irp_pool_);
+  return SendIrp(file, IrpMajor::kFlushBuffers, *irp);
 }
 
 NtStatus IoManager::Lock(FileObject& file, uint64_t offset, uint64_t length) {
-  IrpParameters params;
-  params.offset = offset;
-  params.length = static_cast<uint32_t>(length);
-  return SendSimpleIrp(file, IrpMajor::kLockControl, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.offset = offset;
+  irp->params.length = static_cast<uint32_t>(length);
+  return SendIrp(file, IrpMajor::kLockControl, *irp);
 }
 
 NtStatus IoManager::Unlock(FileObject& file, uint64_t offset, uint64_t length) {
-  IrpParameters params;
-  params.offset = offset;
-  params.length = static_cast<uint32_t>(length);
-  params.lock_release = true;
-  return SendSimpleIrp(file, IrpMajor::kLockControl, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.offset = offset;
+  irp->params.length = static_cast<uint32_t>(length);
+  irp->params.lock_release = true;
+  return SendIrp(file, IrpMajor::kLockControl, *irp);
 }
 
 NtStatus IoManager::QueryDirectory(FileObject& file, bool restart_scan,
                                    const std::string& pattern, std::vector<DirEntry>* out) {
-  IrpParameters params;
-  params.restart_scan = restart_scan;
-  params.search_pattern = pattern;
-  params.dir_out = out;
-  return SendSimpleIrp(file, IrpMajor::kDirectoryControl, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.restart_scan = restart_scan;
+  irp->params.search_pattern = pattern;
+  irp->params.dir_out = out;
+  return SendIrp(file, IrpMajor::kDirectoryControl, *irp);
 }
 
 NtStatus IoManager::Fsctl(FileObject& file, FsctlCode code) {
-  IrpParameters params;
-  params.fsctl = code;
-  return SendSimpleIrp(file, IrpMajor::kFileSystemControl, std::move(params));
+  PooledIrp irp(irp_pool_);
+  irp->params.fsctl = code;
+  return SendIrp(file, IrpMajor::kFileSystemControl, *irp);
 }
 
 NtStatus IoManager::FsctlVolume(const std::string& prefix, FsctlCode code, uint32_t process_id) {
@@ -368,35 +362,34 @@ NtStatus IoManager::FsctlVolume(const std::string& prefix, FsctlCode code, uint3
   if (vol == nullptr) {
     return NtStatus::kObjectPathNotFound;
   }
-  Irp irp;
-  irp.major = IrpMajor::kFileSystemControl;
-  irp.flags = kIrpSynchronousApi;
-  irp.file_object = vol->volume_file.get();
-  irp.process_id = process_id;
-  irp.params.fsctl = code;
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kFileSystemControl;
+  irp->flags = kIrpSynchronousApi;
+  irp->file_object = vol->volume_file.get();
+  irp->process_id = process_id;
+  irp->params.fsctl = code;
   engine_.AdvanceBy(costs_.irp_overhead);
-  return CallDriver(vol->top, irp);
+  return CallDriver(vol->top, *irp);
 }
 
 NtStatus IoManager::QueryVolumeInformation(FileObject& file, uint64_t* free_bytes) {
-  IrpResult result;
-  const NtStatus status =
-      SendSimpleIrp(file, IrpMajor::kQueryVolumeInformation, IrpParameters{}, &result);
+  PooledIrp irp(irp_pool_);
+  const NtStatus status = SendIrp(file, IrpMajor::kQueryVolumeInformation, *irp);
   if (free_bytes != nullptr) {
-    *free_bytes = result.information;
+    *free_bytes = irp->result.information;
   }
   return status;
 }
 
 void IoManager::CloseHandle(FileObject& file) {
   assert(!file.cleanup_done && "double CloseHandle");
-  Irp irp;
-  irp.major = IrpMajor::kCleanup;
-  irp.flags = kIrpSynchronousApi;
-  irp.file_object = &file;
-  irp.process_id = file.process_id();
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kCleanup;
+  irp->flags = kIrpSynchronousApi;
+  irp->file_object = &file;
+  irp->process_id = file.process_id();
   engine_.AdvanceBy(costs_.irp_overhead);
-  CallDriver(file.device(), irp);
+  CallDriver(file.device(), *irp);
   file.cleanup_done = true;
   file.cleanup_at = engine_.Now();
   DereferenceFileObject(file);
@@ -409,11 +402,11 @@ void IoManager::DereferenceFileObject(FileObject& file) {
   if (--file.ref_count > 0) {
     return;
   }
-  Irp irp;
-  irp.major = IrpMajor::kClose;
-  irp.file_object = &file;
-  irp.process_id = file.process_id();
-  CallDriver(file.device(), irp);
+  PooledIrp irp(irp_pool_);
+  irp->major = IrpMajor::kClose;
+  irp->file_object = &file;
+  irp->process_id = file.process_id();
+  CallDriver(file.device(), *irp);
   DestroyFileObject(file);
 }
 

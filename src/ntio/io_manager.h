@@ -24,13 +24,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_map.h"
 #include "src/base/time.h"
 #include "src/ntio/driver.h"
 #include "src/ntio/file_object.h"
 #include "src/ntio/irp.h"
+#include "src/ntio/irp_pool.h"
 #include "src/ntio/process.h"
 #include "src/ntio/status.h"
 #include "src/sim/engine.h"
@@ -141,6 +142,10 @@ class IoManager {
   // Used by the VM manager for paging I/O. Stamps issue/completion times.
   NtStatus CallDriver(DeviceObject* device, Irp& irp);
 
+  // The IRP lookaside pool (DESIGN.md §9). The VM and cache managers draw
+  // their paging IRPs from here so the whole I/O path recycles packets.
+  IrpPool& irp_pool() { return irp_pool_; }
+
   // Makes file-object ids globally unique across a fleet of systems whose
   // traces merge into one collection (ids become base | counter). Call
   // before any file object is created.
@@ -164,8 +169,10 @@ class IoManager {
 
   FileObject* NewFileObject(std::string path, DeviceObject* device, uint32_t process_id);
   void DestroyFileObject(FileObject& file);
-  NtStatus SendSimpleIrp(FileObject& file, IrpMajor major, IrpParameters params,
-                         IrpResult* result = nullptr);
+  // Stamps the IRP header (major, synchronous flag, file object, process),
+  // charges the dispatch overhead and sends it down `file`'s stack. The
+  // caller reads any output from irp.result.
+  NtStatus SendIrp(FileObject& file, IrpMajor major, Irp& irp);
   Volume* FindVolume(std::string_view path);
   const Volume* FindVolume(std::string_view path) const;
 
@@ -174,7 +181,9 @@ class IoManager {
   IoDispatchCosts costs_;
   std::vector<std::unique_ptr<Volume>> volumes_;
   std::vector<std::unique_ptr<DeviceObject>> owned_devices_;
-  std::unordered_map<uint64_t, std::unique_ptr<FileObject>> files_;
+  // Flat map: the open-file table is probed on every create/close.
+  FlatMap<uint64_t, std::unique_ptr<FileObject>> files_;
+  IrpPool irp_pool_;
   uint64_t next_file_id_ = 1;
 
   uint64_t fastio_read_attempts_ = 0;

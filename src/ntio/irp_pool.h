@@ -1,0 +1,92 @@
+// IRP lookaside pool.
+//
+// NT keeps IRPs on per-processor lookaside lists so the I/O manager never
+// touches the general allocator on the request path. This pool is the
+// simulator's equivalent: IRPs are recycled LIFO (the hottest packet stays
+// cache-warm), and -- the part that actually kills allocations here -- the
+// std::string members (path, rename target, search pattern) keep their
+// capacity across reuse, so assigning the next request's path lands in an
+// already-sized buffer. Nested acquisition (an app IRP outstanding while the
+// cache manager issues a paging IRP) just pops a second packet.
+
+#ifndef SRC_NTIO_IRP_POOL_H_
+#define SRC_NTIO_IRP_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/ntio/irp.h"
+
+namespace ntrace {
+
+class IrpPool {
+ public:
+  IrpPool() = default;
+  IrpPool(const IrpPool&) = delete;
+  IrpPool& operator=(const IrpPool&) = delete;
+
+  Irp* Acquire() {
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<Irp>());
+      return owned_.back().get();
+    }
+    Irp* irp = free_.back();
+    free_.pop_back();
+    return irp;
+  }
+
+  // Scrubs the packet and returns it to the free list. Strings are
+  // clear()ed, not reassigned, so their buffers survive for the next user.
+  void Release(Irp* irp) {
+    irp->major = IrpMajor::kCreate;
+    irp->flags = 0;
+    irp->file_object = nullptr;
+    irp->process_id = 0;
+    irp->result = IrpResult{};
+    irp->issued = SimTime();
+    irp->completed = SimTime();
+    irp->path.clear();
+    IrpParameters& p = irp->params;
+    std::string rename_target = std::move(p.rename_target);
+    std::string search_pattern = std::move(p.search_pattern);
+    rename_target.clear();
+    search_pattern.clear();
+    p = IrpParameters{};
+    p.rename_target = std::move(rename_target);
+    p.search_pattern = std::move(search_pattern);
+    free_.push_back(irp);
+  }
+
+  // Packets ever created; steady state means this stops growing.
+  size_t created() const { return owned_.size(); }
+  size_t available() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Irp>> owned_;  // Stable addresses.
+  std::vector<Irp*> free_;                   // LIFO.
+};
+
+// RAII guard: acquire on construction, release on scope exit.
+class PooledIrp {
+ public:
+  explicit PooledIrp(IrpPool& pool) : pool_(&pool), irp_(pool.Acquire()) {}
+  ~PooledIrp() {
+    if (irp_ != nullptr) {
+      pool_->Release(irp_);
+    }
+  }
+  PooledIrp(const PooledIrp&) = delete;
+  PooledIrp& operator=(const PooledIrp&) = delete;
+
+  Irp* operator->() const { return irp_; }
+  Irp& operator*() const { return *irp_; }
+
+ private:
+  IrpPool* pool_;
+  Irp* irp_;
+};
+
+}  // namespace ntrace
+
+#endif  // SRC_NTIO_IRP_POOL_H_

@@ -1,40 +1,89 @@
 #include "src/sim/engine.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace ntrace {
 
-void Engine::Push(SimTime due, EventId id, std::function<void()> fn, bool periodic,
-                  SimDuration period) {
-  queue_.push(Event{due, next_seq_++, id, std::move(fn), periodic, period});
-}
-
-EventId Engine::Schedule(SimDuration delay, std::function<void()> fn) {
-  assert(delay.ticks() >= 0);
-  const EventId id = next_id_++;
-  Push(now_ + delay, id, std::move(fn), /*periodic=*/false, SimDuration());
-  return id;
-}
-
-EventId Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
+EventId Engine::PushEvent(SimTime due, InlineFunction fn, bool periodic, SimDuration period) {
+  uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  const EventId id = next_id_++;
-  Push(when, id, std::move(fn), /*periodic=*/false, SimDuration());
+  EventSlot& slot = slots_[index];
+  // Generations disambiguate reused slots; a wrap needs 2^32 allocations
+  // landing back on the same slot, far beyond any simulated fleet.
+  const EventId id = (next_generation_++ << 32) | index;
+  slot.id = id;
+  slot.period = period;
+  slot.periodic = periodic;
+  slot.cancelled = false;
+  slot.next_free = kNoSlot;
+  slot.fn = std::move(fn);
+  HeapPush(HeapEntry{due.ticks(), next_seq_++, index});
   return id;
 }
 
-EventId Engine::SchedulePeriodic(SimDuration initial_delay, SimDuration period,
-                                 std::function<void()> fn) {
-  assert(period.ticks() > 0);
-  const EventId id = next_id_++;
-  Push(now_ + initial_delay, id, std::move(fn), /*periodic=*/true, period);
-  return id;
+void Engine::FreeSlot(uint32_t index) {
+  EventSlot& slot = slots_[index];
+  slot.fn.Reset();
+  slot.id = 0;
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
-void Engine::Cancel(EventId id) { cancelled_.insert(id); }
+void Engine::HeapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!HeapEntryLess(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Engine::HeapPopRoot() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = (i << 2) + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (HeapEntryLess(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!HeapEntryLess(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Engine::Cancel(EventId id) {
+  const uint32_t index = static_cast<uint32_t>(id);
+  if (index < slots_.size() && slots_[index].id == id) {
+    slots_[index].cancelled = true;
+  }
+}
 
 void Engine::AdvanceBy(SimDuration latency) {
   assert(latency.ticks() >= 0);
@@ -42,29 +91,35 @@ void Engine::AdvanceBy(SimDuration latency) {
 }
 
 bool Engine::DispatchNext(SimTime limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.due > limit) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (top.due > limit.ticks()) {
       return false;
     }
-    Event ev = top;
-    queue_.pop();
-    if (cancelled_.count(ev.id) != 0) {
-      if (!ev.periodic) {
-        cancelled_.erase(ev.id);
-      }
+    HeapPopRoot();
+    EventSlot& slot = slots_[top.slot];
+    if (slot.cancelled) {
+      FreeSlot(top.slot);
       continue;
     }
     // Fire at the due time unless a synchronous AdvanceBy already moved the
     // clock past it; the clock never runs backwards.
-    if (ev.due > now_) {
-      now_ = ev.due;
+    if (top.due > now_.ticks()) {
+      now_ = SimTime(top.due);
     }
     ++events_dispatched_;
-    if (ev.periodic) {
-      Push(ev.due + ev.period, ev.id, ev.fn, /*periodic=*/true, ev.period);
+    if (slot.periodic) {
+      // Re-arm before dispatch (new seq, same slot) so a Cancel from inside
+      // the callback stops the already-queued next firing -- the same order
+      // the old binary-heap engine produced.
+      HeapPush(HeapEntry{top.due + slot.period.ticks(), next_seq_++, top.slot});
+      slot.fn();
+    } else {
+      // Invoke in place (deque slots never move), then recycle. Freeing
+      // after the call keeps a self-Cancel inside the callback harmless.
+      slot.fn();
+      FreeSlot(top.slot);
     }
-    ev.fn();
     return true;
   }
   return false;

@@ -17,16 +17,27 @@
 // DESIGN.md section 2): the paper's statistics are usage patterns, not device
 // queueing, and the distortion is bounded by single-operation latencies
 // (microseconds to milliseconds) against event periods of seconds.
+//
+// Memory discipline (DESIGN.md section 9): the dispatch loop is
+// allocation-free in steady state. Callbacks live in InlineFunction slots
+// (no std::function heap traffic), slots are recycled through a free list
+// inside a chunked deque (stable addresses, so a callback can run in place
+// while nested Schedule calls grow the pool), and the ready queue is a 4-ary
+// implicit heap of 24-byte entries keyed (due, seq) -- the same total order
+// as the old binary heap, so the dispatch sequence is bit-identical.
+// Cancel is O(1): an EventId encodes (generation << 32 | slot), and a stale
+// generation makes cancelling an already-fired one-shot a harmless no-op.
 
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <deque>
+#include <utility>
 #include <vector>
 
+#include "src/base/inline_function.h"
 #include "src/base/time.h"
 
 namespace ntrace {
@@ -43,15 +54,31 @@ class Engine {
   SimTime Now() const { return now_; }
 
   // Schedule `fn` to run `delay` from now. Returns an id for Cancel().
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  EventId Schedule(SimDuration delay, F&& fn) {
+    assert(delay.ticks() >= 0);
+    return PushEvent(now_ + delay, InlineFunction(std::forward<F>(fn)),
+                     /*periodic=*/false, SimDuration());
+  }
 
   // Schedule `fn` at an absolute time (clamped to now if in the past).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    return PushEvent(when, InlineFunction(std::forward<F>(fn)),
+                     /*periodic=*/false, SimDuration());
+  }
 
   // Schedule `fn` every `period`, first firing after `initial_delay`.
   // Cancelling the returned id stops future firings.
-  EventId SchedulePeriodic(SimDuration initial_delay, SimDuration period,
-                           std::function<void()> fn);
+  template <typename F>
+  EventId SchedulePeriodic(SimDuration initial_delay, SimDuration period, F&& fn) {
+    assert(period.ticks() > 0);
+    return PushEvent(now_ + initial_delay, InlineFunction(std::forward<F>(fn)),
+                     /*periodic=*/true, period);
+  }
 
   // Cancel a pending (or periodic) event. Safe to call on already-fired
   // one-shot ids (no-op).
@@ -72,32 +99,44 @@ class Engine {
   uint64_t events_dispatched() const { return events_dispatched_; }
 
  private:
-  struct Event {
-    SimTime due;
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  // 24 bytes; the heap only shuffles these, never the callables.
+  struct HeapEntry {
+    int64_t due;
     uint64_t seq;  // Tie-break: FIFO among same-time events.
-    EventId id;
-    std::function<void()> fn;
-    bool periodic;
-    SimDuration period;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.due != b.due) {
-        return a.due > b.due;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
   };
 
-  void Push(SimTime due, EventId id, std::function<void()> fn, bool periodic, SimDuration period);
+  struct EventSlot {
+    EventId id = 0;  // 0 = free; otherwise (generation << 32) | index.
+    SimDuration period{};
+    uint32_t next_free = kNoSlot;
+    bool periodic = false;
+    bool cancelled = false;
+    InlineFunction fn;
+  };
+
+  static bool HeapEntryLess(const HeapEntry& a, const HeapEntry& b) {
+    return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+  }
+
+  EventId PushEvent(SimTime due, InlineFunction fn, bool periodic, SimDuration period);
+  void FreeSlot(uint32_t index);
+  void HeapPush(HeapEntry entry);
+  void HeapPopRoot();
   bool DispatchNext(SimTime limit);
 
   SimTime now_;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_generation_ = 1;  // Keeps EventIds nonzero and unique.
   uint64_t events_dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapEntry> heap_;  // 4-ary implicit min-heap on (due, seq).
+  // Chunked so slot addresses stay stable while a running callback
+  // schedules new events; freed slots recycle through free_head_, so the
+  // pool stops growing once the workload's peak in-flight count is reached.
+  std::deque<EventSlot> slots_;
+  uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace ntrace

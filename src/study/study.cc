@@ -52,6 +52,13 @@ const IntegrityReport& Study::integrity() const {
   return result_->integrity;
 }
 
+const TraceScan& Study::Scan() {
+  if (!scan_.has_value()) {
+    scan_ = TraceScan::Run(trace());
+  }
+  return *scan_;
+}
+
 const UserActivityResult& Study::UserActivity() {
   if (!user_activity_.has_value()) {
     user_activity_ = UserActivityAnalyzer::Analyze(trace());
@@ -101,21 +108,21 @@ const LifetimeResult& Study::Lifetimes() {
 
 const FastIoResultAnalysis& Study::FastIo() {
   if (!fastio_.has_value()) {
-    fastio_ = FastIoAnalyzer::Analyze(trace());
+    fastio_ = FastIoAnalyzer::Analyze(Scan());
   }
   return *fastio_;
 }
 
 const OperationResult& Study::Operations() {
   if (!operations_.has_value()) {
-    operations_ = OperationAnalyzer::Analyze(trace(), instances());
+    operations_ = OperationAnalyzer::Analyze(Scan(), instances());
   }
   return *operations_;
 }
 
 const CacheAnalysisResult& Study::Cache() {
   if (!cache_.has_value()) {
-    cache_ = CacheAnalyzer::Analyze(trace(), instances(), total_cache_stats());
+    cache_ = CacheAnalyzer::Analyze(Scan(), instances(), total_cache_stats());
     // "At least 25%-35% of all the deleted new files could have benefited
     // from the use of this attribute" (section 6.3): short-lived deaths
     // that did not use the temporary path.

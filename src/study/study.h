@@ -32,6 +32,7 @@
 #include "src/analysis/process_profile.h"
 #include "src/analysis/sessions.h"
 #include "src/analysis/snapshot_analysis.h"
+#include "src/analysis/trace_scan.h"
 #include "src/analysis/user_activity.h"
 #include "src/tracedb/instance_table.h"
 #include "src/workload/fleet.h"
@@ -68,6 +69,12 @@ class Study {
   // shards (faulted runs included) and is identical to a sequential run's.
   const IntegrityReport& integrity() const;
 
+  // The shared single-pass record scan (DESIGN.md §9). Computed once over
+  // the full trace and consumed by Operations(), FastIo() and Cache();
+  // exposes the cache/paging transfer mix and the record-level sequential
+  // run lengths directly.
+  const TraceScan& Scan();
+
   // --- Analyses (memoized) ----------------------------------------------------
   const UserActivityResult& UserActivity();      // Table 2.
   const AccessPatternTable& AccessPatterns();    // Table 3.
@@ -90,6 +97,7 @@ class Study {
   std::optional<FleetResult> result_;
   std::optional<TraceSet> app_trace_;
   std::optional<InstanceTable> instances_;
+  std::optional<TraceScan> scan_;
   std::optional<UserActivityResult> user_activity_;
   std::optional<AccessPatternTable> access_patterns_;
   std::optional<RunLengthResult> run_lengths_;

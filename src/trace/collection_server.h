@@ -50,6 +50,12 @@ class CollectionServer final : public TraceSink {
 
   CollectionServer() = default;
 
+  // Pre-sizes the record store for an expected ingest volume (DESIGN.md §9).
+  // The fleet derives the estimate from the workload shape (days x activity)
+  // so steady-state delivery appends without reallocation churn; an
+  // underestimate only means the vector resumes geometric growth.
+  void ReserveRecords(size_t expected) { set_.records.reserve(expected); }
+
   void DeliverRecords(std::vector<TraceRecord> records) override;
   void DeliverName(NameRecord name) override;
   void DeliverShipment(const ShipmentHeader& header,

@@ -137,12 +137,32 @@ std::vector<uint32_t> TraceSet::SystemIds() const {
 }
 
 void TraceSet::SortByTime() {
-  std::stable_sort(records.begin(), records.end(), [](const TraceRecord& a, const TraceRecord& b) {
+  const auto by_time = [](const TraceRecord& a, const TraceRecord& b) {
     return a.complete_ticks < b.complete_ticks;
-  });
+  };
+  // Records append in completion order, so shards arrive sorted or nearly
+  // sorted (async completions reorder only short windows). Sorting just the
+  // unsorted suffix and merging preserves the exact stable_sort result:
+  // inplace_merge is stable and prefers the first range on ties, which is
+  // the original relative order.
+  const auto first_unsorted = std::is_sorted_until(records.begin(), records.end(), by_time);
+  if (first_unsorted == records.end()) {
+    return;
+  }
+  std::stable_sort(first_unsorted, records.end(), by_time);
+  std::inplace_merge(records.begin(), first_unsorted, records.end(), by_time);
 }
 
 void TraceSet::MergeSortedRuns(std::vector<std::vector<TraceRecord>> runs) {
+  // Degenerate shapes first: no runs at all replaces the records with the
+  // merge of nothing (empty), and a single run -- empty or not -- moves in
+  // wholesale. Empty runs among several are skipped by the heap seeding
+  // below. A faulted fleet can legitimately produce empty shards (every
+  // shipment of a system lost), so all of these must behave.
+  if (runs.empty()) {
+    records.clear();
+    return;
+  }
   if (runs.size() == 1) {
     records = std::move(runs.front());
     return;
@@ -167,9 +187,26 @@ void TraceSet::MergeSortedRuns(std::vector<std::vector<TraceRecord>> runs) {
   while (!heap.empty()) {
     const size_t r = heap.top().second;
     heap.pop();
-    merged.push_back(runs[r][pos[r]]);
-    if (++pos[r] < runs[r].size()) {
-      heap.emplace(runs[r][pos[r]].complete_ticks, r);
+    // Gallop: records cluster by system, so once run r wins, it usually
+    // keeps winning for a stretch. Emit its whole leading segment that
+    // stays ahead of the best other run -- the (ticks, run index) pair
+    // comparison reproduces the per-record pop order exactly -- and touch
+    // the heap once per segment instead of once per record.
+    const std::vector<TraceRecord>& run = runs[r];
+    size_t p = pos[r];
+    size_t end = p + 1;
+    if (heap.empty()) {
+      end = run.size();
+    } else {
+      const HeapEntry& contender = heap.top();
+      while (end < run.size() && HeapEntry(run[end].complete_ticks, r) < contender) {
+        ++end;
+      }
+    }
+    merged.insert(merged.end(), run.begin() + p, run.begin() + end);
+    pos[r] = end;
+    if (end < run.size()) {
+      heap.emplace(run[end].complete_ticks, r);
     }
   }
   records = std::move(merged);

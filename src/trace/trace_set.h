@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_map.h"
 #include "src/trace/trace_record.h"
 
 namespace ntrace {
@@ -75,7 +76,11 @@ class TraceSet {
   // and never copied.
   mutable std::mutex name_index_mutex_;
   mutable std::atomic<bool> name_index_built_{false};
-  mutable std::unordered_map<uint64_t, size_t> name_index_;
+  // Flat map (DESIGN.md §9): the per-record PathOf probe is one cache line,
+  // not a node chase. Iteration order is irrelevant here -- `process_names`
+  // above stays std::unordered_map because its iteration order is part of
+  // the serialized format.
+  mutable FlatMap<uint64_t, size_t> name_index_;
 };
 
 }  // namespace ntrace

@@ -136,6 +136,15 @@ struct SystemShard {
 
 void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
   const auto start = std::chrono::steady_clock::now();
+  // Workload-derived ingest reserve (DESIGN.md §9): a standard-activity
+  // system emits on the order of 70k records per simulated day, scaling
+  // roughly linearly with the activity knob. Pre-sizing the shard's record
+  // store keeps steady-state shipment delivery free of vector reallocation;
+  // the cap bounds the up-front commitment for extreme configurations.
+  const double estimated = 70000.0 * std::max(options.days, 1) *
+                           std::max(options.activity_scale, 0.1);
+  shard->server.ReserveRecords(
+      std::min(static_cast<size_t>(estimated), static_cast<size_t>(1) << 20));
   SimulatedSystem system(options, shard->server);
   shard->stats = system.Run();
   for (const auto& [pid, info] : system.processes().all()) {

@@ -373,5 +373,75 @@ TEST(TraceSetIo, SystemFiltering) {
   EXPECT_EQ(set.SystemIds(), (std::vector<uint32_t>{1, 2}));
 }
 
+TraceRecord RecordAt(int64_t ticks, uint32_t system_id) {
+  TraceRecord r;
+  r.complete_ticks = ticks;
+  r.system_id = system_id;
+  return r;
+}
+
+TEST(TraceSetMerge, ZeroRunsClearsRecords) {
+  TraceSet set;
+  set.records.push_back(RecordAt(7, 1));
+  set.MergeSortedRuns({});
+  EXPECT_TRUE(set.records.empty());
+}
+
+TEST(TraceSetMerge, SingleEmptyRunClearsRecords) {
+  TraceSet set;
+  set.records.push_back(RecordAt(7, 1));
+  set.MergeSortedRuns({{}});
+  EXPECT_TRUE(set.records.empty());
+}
+
+TEST(TraceSetMerge, AllRunsEmptyYieldsEmpty) {
+  TraceSet set;
+  set.records.push_back(RecordAt(7, 1));
+  std::vector<std::vector<TraceRecord>> runs(3);
+  set.MergeSortedRuns(std::move(runs));
+  EXPECT_TRUE(set.records.empty());
+}
+
+TEST(TraceSetMerge, EmptyRunsAmongNonEmptyAreSkipped) {
+  // A faulted fleet can lose every shipment of a system, producing an empty
+  // shard between populated ones; the merge must behave as if the empty
+  // runs were absent.
+  std::vector<std::vector<TraceRecord>> runs;
+  runs.push_back({RecordAt(10, 1), RecordAt(30, 1)});
+  runs.push_back({});
+  runs.push_back({RecordAt(20, 3), RecordAt(30, 3)});
+  runs.push_back({});
+  TraceSet set;
+  set.MergeSortedRuns(std::move(runs));
+  ASSERT_EQ(set.records.size(), 4u);
+  EXPECT_EQ(set.records[0].complete_ticks, 10);
+  EXPECT_EQ(set.records[1].complete_ticks, 20);
+  EXPECT_EQ(set.records[2].complete_ticks, 30);
+  EXPECT_EQ(set.records[2].system_id, 1u);  // Tie resolves to the earlier run.
+  EXPECT_EQ(set.records[3].complete_ticks, 30);
+  EXPECT_EQ(set.records[3].system_id, 3u);
+}
+
+TEST(TraceSetMerge, MatchesStableSortOfConcatenation) {
+  std::vector<std::vector<TraceRecord>> runs;
+  runs.push_back({RecordAt(5, 1), RecordAt(5, 1), RecordAt(9, 1)});
+  runs.push_back({RecordAt(1, 2), RecordAt(5, 2)});
+  runs.push_back({RecordAt(5, 3)});
+
+  TraceSet concat;
+  for (const auto& run : runs) {
+    concat.records.insert(concat.records.end(), run.begin(), run.end());
+  }
+  concat.SortByTime();
+
+  TraceSet merged;
+  merged.MergeSortedRuns(std::move(runs));
+  ASSERT_EQ(merged.records.size(), concat.records.size());
+  for (size_t i = 0; i < merged.records.size(); ++i) {
+    EXPECT_EQ(merged.records[i].complete_ticks, concat.records[i].complete_ticks);
+    EXPECT_EQ(merged.records[i].system_id, concat.records[i].system_id);
+  }
+}
+
 }  // namespace
 }  // namespace ntrace
