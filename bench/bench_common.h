@@ -10,6 +10,18 @@
 //   NTRACE_SEED           fleet seed (default 1999)
 //   NTRACE_THREADS        fleet worker threads (default 0 = all cores;
 //                         output is bit-identical for every value)
+//
+// Durability / crash-recovery knobs (DESIGN.md §10):
+//   NTRACE_SPOOL_DIR      enable the durable trace spool + checkpoint
+//                         manifest in this directory (default off)
+//   NTRACE_CRASH_KIND     arm a crash plan: worker-crash | torn-write |
+//                         bit-flip | hang (default none)
+//   NTRACE_CRASH_SYSTEM   1-based victim system id (default 1)
+//   NTRACE_CRASH_AT       delivered-record count the crash fires at
+//                         (default 1000)
+//   NTRACE_CRASH_ATTEMPT  which simulation attempt crashes: 1 = first only,
+//                         so the supervisor's restart succeeds; 0 = every
+//                         attempt (default 1)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
@@ -111,6 +123,31 @@ inline StudyConfig StandardConfig() {
   // Benches default to all cores: the parallel fleet is bit-identical to
   // the sequential one, so this only changes wall-clock.
   config.fleet.threads = static_cast<int>(EnvU64("NTRACE_THREADS", 0));
+  const char* spool_dir = std::getenv("NTRACE_SPOOL_DIR");
+  if (spool_dir != nullptr && *spool_dir != '\0') {
+    config.fleet.durability.spool_dir = spool_dir;
+  }
+  const char* crash_kind = std::getenv("NTRACE_CRASH_KIND");
+  if (crash_kind != nullptr && *crash_kind != '\0') {
+    CrashPlan& crash = config.fleet.fault_config.crash;
+    if (std::strcmp(crash_kind, "worker-crash") == 0) {
+      crash.kind = CrashKind::kWorkerCrash;
+    } else if (std::strcmp(crash_kind, "torn-write") == 0) {
+      crash.kind = CrashKind::kTornWrite;
+    } else if (std::strcmp(crash_kind, "bit-flip") == 0) {
+      crash.kind = CrashKind::kBitFlip;
+    } else if (std::strcmp(crash_kind, "hang") == 0) {
+      crash.kind = CrashKind::kHang;
+    } else {
+      std::fprintf(stderr, "warning: NTRACE_CRASH_KIND=\"%s\" is not a crash kind; ignoring\n",
+                   crash_kind);
+    }
+    if (crash.kind != CrashKind::kNone) {
+      crash.system_id = static_cast<uint32_t>(EnvU64("NTRACE_CRASH_SYSTEM", 1));
+      crash.at_event = EnvU64("NTRACE_CRASH_AT", 1000);
+      crash.at_attempt = static_cast<int>(EnvU64("NTRACE_CRASH_ATTEMPT", 1));
+    }
+  }
   return config;
 }
 

@@ -90,6 +90,12 @@ def check_file(path):
 
     if "metrics_overhead_pct" in doc:
         errors += check_finite(path, "metrics_overhead_pct", doc["metrics_overhead_pct"])
+    # The fleet bench must carry the durability-layer cost (checkpointing
+    # on vs off); a missing key means the measurement silently fell out.
+    if doc["bench"] == "fleet" and "recovery_overhead_pct" not in doc:
+        errors += fail(path, 'missing required key "recovery_overhead_pct"')
+    if "recovery_overhead_pct" in doc:
+        errors += check_finite(path, "recovery_overhead_pct", doc["recovery_overhead_pct"])
     if "metrics" in doc:
         metrics = doc["metrics"]
         if not isinstance(metrics, dict):

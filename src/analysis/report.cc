@@ -101,6 +101,8 @@ void PrintIntegrityReport(const IntegrityReport& report) {
         std::to_string(s.sequence_gaps),
         std::to_string(s.shipment_attempts),
         std::to_string(s.shipments_abandoned),
+        std::to_string(s.records_salvaged),
+        std::to_string(s.records_lost_to_corruption),
         FormatPct(s.CollectedFraction()),
         s.Accounted() ? "yes" : "NO",
     };
@@ -113,7 +115,7 @@ void PrintIntegrityReport(const IntegrityReport& report) {
   rows.push_back(row_of("total", totals));
   std::printf("%s", RenderTable({"system", "emitted", "collected", "dropped", "shed", "lost",
                                  "unresolved", "dup-discard", "gaps", "attempts", "abandoned",
-                                 "coll%", "accounted"},
+                                 "salvaged", "corrupt-lost", "coll%", "accounted"},
                                 rows)
                         .c_str());
 }

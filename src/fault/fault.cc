@@ -18,6 +18,22 @@ std::string_view FaultSiteName(FaultSite site) {
   return "unknown";
 }
 
+std::string_view CrashKindName(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kNone:
+      return "none";
+    case CrashKind::kWorkerCrash:
+      return "worker-crash";
+    case CrashKind::kTornWrite:
+      return "torn-write";
+    case CrashKind::kBitFlip:
+      return "bit-flip";
+    case CrashKind::kHang:
+      return "hang";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Independent per-site streams: seed each site's Rng from (seed, site index)

@@ -63,6 +63,44 @@ struct FaultPlan {
   }
 };
 
+// Crash fault kinds (DESIGN.md §10). Unlike the per-operation sites above,
+// a crash kills a whole simulated system mid-run: the fleet supervisor
+// arms the plan on the victim system's collection path and the worker dies
+// (deterministically, at a fixed delivered-record count) the way a traced
+// machine in the study would -- leaving a partial trace spool behind. The
+// torn-write and bit-flip kinds additionally damage the tail of that spool
+// segment, exercising the salvage reader.
+enum class CrashKind : uint8_t {
+  kNone = 0,
+  kWorkerCrash,  // Process death: the partial segment ends at a frame boundary.
+  kTornWrite,    // Death mid-write: the segment's final frame is truncated.
+  kBitFlip,      // Media corruption: one bit of the segment flips.
+  kHang,         // Worker stops making progress until the watchdog cancels it.
+};
+
+std::string_view CrashKindName(CrashKind kind);
+
+struct CrashPlan {
+  CrashKind kind = CrashKind::kNone;
+  // 1-based id of the victim system (0 disables the plan).
+  uint32_t system_id = 0;
+  // Fires when the victim has delivered this many trace records to its
+  // collection server -- a deterministic event count, independent of wall
+  // clock, thread count and scheduling.
+  uint64_t at_event = 0;
+  // Which simulation attempt crashes: 1 = first run only (the restart
+  // succeeds), 0 = every attempt (the system is permanently down until a
+  // later fleet invocation resumes with the plan disabled).
+  int at_attempt = 1;
+  // kTornWrite: bytes chopped off the end of the partial segment.
+  uint32_t tear_bytes = 37;
+  // kBitFlip: bit index flipped, counted from the middle of the segment
+  // (deterministic damage without a separate RNG stream).
+  uint32_t flip_bit = 3;
+
+  bool enabled() const { return kind != CrashKind::kNone && system_id != 0; }
+};
+
 // Result of evaluating one operation against a site's plan.
 struct FaultOutcome {
   bool fail = false;
@@ -80,6 +118,11 @@ struct FaultConfig {
   FaultPlan shipment;
   FaultPlan disk_read;
   FaultPlan disk_write;
+  // Worker-crash schedule, consumed by the fleet supervisor rather than the
+  // per-operation injector; deliberately excluded from enabled() so arming
+  // a crash never changes whether a system builds a FaultInjector (the
+  // simulated stream must be bit-identical with and without the crash).
+  CrashPlan crash;
 
   bool enabled() const {
     return shipment.enabled() || disk_read.enabled() || disk_write.enabled();

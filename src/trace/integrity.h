@@ -9,8 +9,14 @@
 //
 //   records_emitted = records_collected + records_overflow_dropped
 //                     + records_shed + records_lost + records_unresolved
+//                     + records_lost_to_corruption
 //
 // i.e. every record an application generated is accounted for exactly once.
+// The last term only becomes non-zero when a fleet resumes from a damaged
+// durable spool in salvage mode (DESIGN.md §10): the salvaged prefix counts
+// as collected (and is also reported as records_salvaged), the rest of what
+// the original run had collected is charged to corruption -- partial
+// recovery is never silently reported as complete.
 
 #ifndef SRC_TRACE_INTEGRITY_H_
 #define SRC_TRACE_INTEGRITY_H_
@@ -43,10 +49,16 @@ struct SystemIntegrity {
   uint64_t records_collected = 0;
   uint64_t duplicate_records_discarded = 0;
 
+  // Durability/recovery side (zero unless the system was restored from a
+  // spool segment rather than simulated live).
+  uint64_t records_salvaged = 0;             // Collected records restored from disk.
+  uint64_t records_lost_to_corruption = 0;   // Originally collected, unrecoverable.
+
   // True when the pipeline accounts for every emitted record.
   bool Accounted() const {
     return records_emitted == records_collected + records_overflow_dropped + records_shed +
-                                  records_lost + records_unresolved;
+                                  records_lost + records_unresolved +
+                                  records_lost_to_corruption;
   }
   double CollectedFraction() const {
     return records_emitted == 0
@@ -87,6 +99,8 @@ struct IntegrityReport {
       t.sequence_gaps += s.sequence_gaps;
       t.records_collected += s.records_collected;
       t.duplicate_records_discarded += s.duplicate_records_discarded;
+      t.records_salvaged += s.records_salvaged;
+      t.records_lost_to_corruption += s.records_lost_to_corruption;
     }
     return t;
   }

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <iterator>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
+
+#include "src/trace/spool.h"
 
 namespace ntrace {
 
@@ -23,6 +32,14 @@ struct FleetMetrics {
   Counter& merge_wall_us_sum;
   Histogram& system_wall_us;
   Gauge& last_merge_wall_us;
+  // Crash-recovery supervisor counters (DESIGN.md §10).
+  Counter& worker_crashes;
+  Counter& worker_restarts;
+  Counter& watchdog_cancellations;
+  Counter& segments_sealed;
+  Counter& systems_resumed;
+  Counter& systems_salvaged;
+  Counter& systems_failed;
 
   static FleetMetrics& Get() {
     static FleetMetrics m = [] {
@@ -42,6 +59,20 @@ struct FleetMetrics {
                          "Wall-clock microseconds to simulate one system"),
           r.GetGauge("ntrace_fleet_last_merge_wall_us",
                      "Wall-clock microseconds of the most recent merge"),
+          r.GetCounter("ntrace_fleet_worker_crashes_total",
+                       "Worker crashes observed by the fleet supervisor"),
+          r.GetCounter("ntrace_fleet_worker_restarts_total",
+                       "Crashed workers restarted by the fleet supervisor"),
+          r.GetCounter("ntrace_fleet_watchdog_cancellations_total",
+                       "Hung workers cancelled by the deadline watchdog"),
+          r.GetCounter("ntrace_fleet_segments_sealed_total",
+                       "Spool segments sealed as complete checkpoints"),
+          r.GetCounter("ntrace_fleet_systems_resumed_total",
+                       "Systems restored from sealed spool segments"),
+          r.GetCounter("ntrace_fleet_systems_salvaged_total",
+                       "Systems restored from damaged spool segments (salvage mode)"),
+          r.GetCounter("ntrace_fleet_systems_failed_total",
+                       "Systems dropped after exhausting crash restarts"),
       };
     }();
     return m;
@@ -51,6 +82,12 @@ struct FleetMetrics {
 int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
                                                                since)
+      .count();
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
@@ -120,6 +157,251 @@ uint64_t FleetResult::TotalFastIoWriteHits() const {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Config fingerprint.
+//
+// Sealed spool segments are only trusted for resume when they were produced
+// by an equivalent fleet configuration: everything that shapes the simulated
+// stream is folded into an FNV-1a fingerprint stored in every segment
+// header. Deliberately excluded: `threads` (the output contract makes it
+// irrelevant), the durability knobs themselves, and the crash plan -- a run
+// resumed with the crash disabled must still match the segments the crashed
+// run sealed.
+// ---------------------------------------------------------------------------
+
+struct Fingerprint {
+  uint64_t h = 1469598103934665603ULL;
+
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void MixDouble(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    Mix(bits);
+  }
+  void MixPlan(const FaultPlan& p) {
+    MixDouble(p.probability);
+    Mix(static_cast<uint64_t>(p.burst_period.ticks()));
+    Mix(static_cast<uint64_t>(p.burst_length.ticks()));
+    MixDouble(p.burst_probability);
+    MixDouble(p.ack_loss_fraction);
+    Mix(p.outages.size());
+    for (const auto& [start, end] : p.outages) {
+      Mix(static_cast<uint64_t>(start.ticks()));
+      Mix(static_cast<uint64_t>(end.ticks()));
+    }
+  }
+};
+
+uint64_t FleetConfigFingerprint(const FleetConfig& c) {
+  Fingerprint f;
+  f.Mix(0x4E54464C54563031ULL);  // Fingerprint schema tag, bump on change.
+  f.Mix(static_cast<uint64_t>(c.walk_up));
+  f.Mix(static_cast<uint64_t>(c.pool));
+  f.Mix(static_cast<uint64_t>(c.personal));
+  f.Mix(static_cast<uint64_t>(c.administrative));
+  f.Mix(static_cast<uint64_t>(c.scientific));
+  f.Mix(static_cast<uint64_t>(c.days));
+  f.Mix(c.seed);
+  f.MixDouble(c.activity_scale);
+  f.MixDouble(c.content_scale);
+  f.Mix(c.with_share ? 1 : 0);
+  f.Mix(c.daily_snapshots ? 1 : 0);
+
+  const CacheConfig& cc = c.cache_config;
+  f.Mix(cc.capacity_pages);
+  f.Mix(cc.read_ahead_granularity);
+  f.Mix(cc.boosted_granularity);
+  f.Mix(cc.boost_threshold);
+  f.Mix(static_cast<uint64_t>(cc.sequential_detect_count));
+  f.Mix(cc.fuzzy_mask);
+  f.Mix(cc.read_ahead_enabled ? 1 : 0);
+  f.Mix(static_cast<uint64_t>(cc.read_ahead_dispatch_delay.ticks()));
+  f.Mix(static_cast<uint64_t>(cc.lazy_write_period.ticks()));
+  f.MixDouble(cc.lazy_write_fraction);
+  f.Mix(cc.max_write_run_bytes);
+  f.Mix(cc.lazy_write_enabled ? 1 : 0);
+  f.Mix(static_cast<uint64_t>(cc.read_close_delay_min.ticks()));
+  f.Mix(static_cast<uint64_t>(cc.read_close_delay_max.ticks()));
+  f.Mix(static_cast<uint64_t>(cc.copy_fixed.ticks()));
+  f.MixDouble(cc.copy_ns_per_byte);
+
+  const FsOptions& fo = c.fs_options;
+  f.Mix(fo.enforce_share_access ? 1 : 0);
+  f.Mix(static_cast<uint64_t>(fo.metadata_cost_per_component.ticks()));
+  f.Mix(static_cast<uint64_t>(fo.control_op_cost.ticks()));
+  f.Mix(fo.directory_chunk);
+
+  const TraceFilterOptions& tf = c.filter_options;
+  f.Mix(tf.record_fastio_failures ? 1 : 0);
+  f.Mix(tf.passthrough_fastio ? 1 : 0);
+  f.Mix(static_cast<uint64_t>(tf.record_cost.ticks()));
+
+  const ShipmentPolicy& sp = c.shipment_policy;
+  f.Mix(static_cast<uint64_t>(sp.max_attempts));
+  f.Mix(static_cast<uint64_t>(sp.initial_backoff.ticks()));
+  f.MixDouble(sp.backoff_multiplier);
+  f.Mix(static_cast<uint64_t>(sp.max_backoff.ticks()));
+  f.MixDouble(sp.jitter);
+  f.Mix(sp.retry_queue_limit);
+  f.Mix(sp.shed_watermark);
+  f.MixDouble(sp.shed_keep_probability);
+
+  f.Mix(c.fault_config.seed);
+  f.MixPlan(c.fault_config.shipment);
+  f.MixPlan(c.fault_config.disk_read);
+  f.MixPlan(c.fault_config.disk_write);
+  return f.h;
+}
+
+// ---------------------------------------------------------------------------
+// Completion blob.
+//
+// The spool stores it as an opaque kCompletion payload; the encoding lives
+// here because SystemRunStats is a workload-layer type the trace layer must
+// not know about. Snapshots are deliberately not persisted (they are bulky
+// and only consumed by snapshot-growth analyses of live runs); a resumed
+// system reports an empty snapshot series.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kCompletionVersion = 1;
+
+template <typename T>
+void PutScalar(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<uint8_t>(static_cast<uint64_t>(value) >> (8 * i)));
+  }
+}
+
+template <typename T>
+bool GetScalar(const std::vector<uint8_t>& in, size_t* pos, T* out) {
+  if (in.size() - *pos < sizeof(T)) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *out = static_cast<T>(v);
+  return true;
+}
+
+template <typename T>
+void PutPod(std::vector<uint8_t>* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+bool GetPod(const std::vector<uint8_t>& in, size_t* pos, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (in.size() - *pos < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(out, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+std::vector<uint8_t> EncodeCompletion(
+    const SystemRunStats& s, const std::vector<std::pair<uint32_t, std::string>>& names) {
+  std::vector<uint8_t> out;
+  PutScalar<uint32_t>(&out, kCompletionVersion);
+  PutScalar<uint32_t>(&out, s.system_id);
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(s.category));
+  PutPod(&out, s.cache);
+  PutPod(&out, s.vm);
+  PutPod(&out, s.local_fs);
+  PutPod(&out, s.remote_fs);
+  for (uint64_t v : {s.fastio_read_attempts, s.fastio_read_hits, s.fastio_write_attempts,
+                     s.fastio_write_hits, s.irp_count, s.trace_records, s.trace_drops,
+                     s.sessions_run, s.trace_emitted, s.trace_shed, s.trace_lost,
+                     s.trace_unresolved, s.shipments_sent, s.shipment_attempts,
+                     s.shipment_failures, s.shipments_abandoned, s.peak_retry_backlog,
+                     s.disk_read_errors, s.disk_write_errors, s.paging_retries}) {
+    PutScalar<uint64_t>(&out, v);
+  }
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(s.abandoned_shipments.size()));
+  for (const auto& [sequence, count] : s.abandoned_shipments) {
+    PutScalar<uint64_t>(&out, sequence);
+    PutScalar<uint64_t>(&out, count);
+  }
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(names.size()));
+  for (const auto& [pid, name] : names) {
+    PutScalar<uint32_t>(&out, pid);
+    PutScalar<uint32_t>(&out, static_cast<uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  return out;
+}
+
+bool DecodeCompletion(const std::vector<uint8_t>& in, SystemRunStats* s,
+                      std::vector<std::pair<uint32_t, std::string>>* names) {
+  size_t pos = 0;
+  uint32_t version = 0, system_id = 0, category = 0;
+  if (!GetScalar(in, &pos, &version) || version != kCompletionVersion ||
+      !GetScalar(in, &pos, &system_id) || !GetScalar(in, &pos, &category) ||
+      category >= static_cast<uint32_t>(kNumUsageCategories)) {
+    return false;
+  }
+  s->system_id = system_id;
+  s->category = static_cast<UsageCategory>(category);
+  if (!GetPod(in, &pos, &s->cache) || !GetPod(in, &pos, &s->vm) ||
+      !GetPod(in, &pos, &s->local_fs) || !GetPod(in, &pos, &s->remote_fs)) {
+    return false;
+  }
+  for (uint64_t* v : {&s->fastio_read_attempts, &s->fastio_read_hits, &s->fastio_write_attempts,
+                      &s->fastio_write_hits, &s->irp_count, &s->trace_records, &s->trace_drops,
+                      &s->sessions_run, &s->trace_emitted, &s->trace_shed, &s->trace_lost,
+                      &s->trace_unresolved, &s->shipments_sent, &s->shipment_attempts,
+                      &s->shipment_failures, &s->shipments_abandoned, &s->peak_retry_backlog,
+                      &s->disk_read_errors, &s->disk_write_errors, &s->paging_retries}) {
+    if (!GetScalar(in, &pos, v)) {
+      return false;
+    }
+  }
+  uint32_t abandoned = 0;
+  if (!GetScalar(in, &pos, &abandoned) || abandoned > in.size()) {
+    return false;
+  }
+  s->abandoned_shipments.clear();
+  s->abandoned_shipments.reserve(abandoned);
+  for (uint32_t i = 0; i < abandoned; ++i) {
+    uint64_t sequence = 0, count = 0;
+    if (!GetScalar(in, &pos, &sequence) || !GetScalar(in, &pos, &count)) {
+      return false;
+    }
+    s->abandoned_shipments.emplace_back(sequence, count);
+  }
+  uint32_t name_count = 0;
+  if (!GetScalar(in, &pos, &name_count) || name_count > in.size()) {
+    return false;
+  }
+  names->clear();
+  names->reserve(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    uint32_t pid = 0, len = 0;
+    if (!GetScalar(in, &pos, &pid) || !GetScalar(in, &pos, &len) || in.size() - pos < len) {
+      return false;
+    }
+    names->emplace_back(pid, std::string(reinterpret_cast<const char*>(in.data() + pos), len));
+    pos += len;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker/shard plumbing.
+// ---------------------------------------------------------------------------
+
 // Everything one worker produces for one system. Workers never touch
 // shared mutable state on the hot path: each system traces into its own
 // CollectionServer shard, and the main thread merges shards in system-id
@@ -132,9 +414,207 @@ struct SystemShard {
   // merged process map sees the same insertion sequence as a sequential
   // run (the map serializes in insertion-dependent order).
   std::vector<std::pair<uint32_t, std::string>> process_names;
+  // Set when the shard holds a finished system (live, resumed or salvaged);
+  // a shard left incomplete (restarts exhausted) is skipped by the merge.
+  bool completed = false;
+  uint64_t records_salvaged = 0;
+  uint64_t records_lost_to_corruption = 0;
 };
 
-void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
+// Thrown by SpoolingSink when an armed crash plan fires; caught by the
+// supervisor, never escapes RunFleet.
+struct WorkerCrashSignal {
+  CrashKind kind;
+};
+
+// Per-worker liveness state shared with the watchdog thread.
+struct WorkerHeartbeat {
+  std::atomic<bool> active{false};
+  std::atomic<int64_t> last_progress_us{0};
+  std::atomic<bool> cancel{false};
+};
+
+// Wraps a shard's CollectionServer: every delivery is (optionally) appended
+// to the durable spool before it reaches the server, the worker heartbeat is
+// advanced, and an armed crash plan is evaluated against the running
+// delivered-record count -- a deterministic event clock, so the crash point
+// is independent of wall time, thread count and scheduling.
+class SpoolingSink final : public TraceSink {
+ public:
+  SpoolingSink(TraceSink& inner, SpoolWriter* spool, const CrashPlan* crash,
+               WorkerHeartbeat* heart)
+      : inner_(inner), spool_(spool), crash_(crash), heart_(heart) {}
+
+  void DeliverShipment(const ShipmentHeader& header, std::vector<TraceRecord> records) override {
+    if (spool_ != nullptr) {
+      spool_->AppendShipment(header, records);
+    }
+    const uint64_t n = records.size();
+    inner_.DeliverShipment(header, std::move(records));
+    Progress(n);
+  }
+  void DeliverRecords(std::vector<TraceRecord> records) override {
+    if (spool_ != nullptr) {
+      spool_->AppendRecords(records);
+    }
+    const uint64_t n = records.size();
+    inner_.DeliverRecords(std::move(records));
+    Progress(n);
+  }
+  void DeliverName(NameRecord name) override {
+    if (spool_ != nullptr) {
+      spool_->AppendName(name);
+    }
+    inner_.DeliverName(std::move(name));
+    Progress(0);
+  }
+
+ private:
+  void Progress(uint64_t records) {
+    delivered_ += records;
+    if (heart_ != nullptr) {
+      heart_->last_progress_us.store(NowMicros(), std::memory_order_release);
+    }
+    if (crash_ != nullptr && !fired_ && delivered_ >= crash_->at_event) {
+      fired_ = true;
+      if (crash_->kind == CrashKind::kHang && heart_ != nullptr) {
+        // Stop making progress until the watchdog cancels us. Bounded so a
+        // disabled watchdog degrades to a slow crash, never a stuck test.
+        const auto start = std::chrono::steady_clock::now();
+        while (!heart_->cancel.load(std::memory_order_acquire) &&
+               ElapsedMicros(start) < 60 * 1000 * 1000) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      throw WorkerCrashSignal{crash_->kind};
+    }
+  }
+
+  TraceSink& inner_;
+  SpoolWriter* spool_;
+  const CrashPlan* crash_;
+  WorkerHeartbeat* heart_;
+  uint64_t delivered_ = 0;
+  bool fired_ = false;
+};
+
+// Cancels workers whose heartbeat stalls past the deadline. The cancel flag
+// is only honoured by the hang fault's spin loop today, but the watchdog is
+// generic: any cooperative cancellation point can consult it.
+class Watchdog {
+ public:
+  Watchdog(std::vector<WorkerHeartbeat>* hearts, double deadline_s,
+           std::atomic<uint64_t>* cancellations)
+      : hearts_(hearts),
+        deadline_us_(static_cast<int64_t>(deadline_s * 1e6)),
+        cancellations_(cancellations) {
+    if (deadline_us_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void Loop() {
+    const auto poll = std::chrono::microseconds(
+        std::clamp<int64_t>(deadline_us_ / 8, int64_t{1000}, int64_t{250000}));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, poll, [this] { return stop_; });
+      if (stop_) {
+        break;
+      }
+      const int64_t now = NowMicros();
+      for (WorkerHeartbeat& h : *hearts_) {
+        if (h.active.load(std::memory_order_acquire) &&
+            !h.cancel.load(std::memory_order_relaxed) &&
+            now - h.last_progress_us.load(std::memory_order_acquire) > deadline_us_) {
+          h.cancel.store(true, std::memory_order_release);
+          cancellations_->fetch_add(1, std::memory_order_relaxed);
+          FleetMetrics::Get().watchdog_cancellations.Inc();
+        }
+      }
+    }
+  }
+
+  std::vector<WorkerHeartbeat>* hearts_;
+  int64_t deadline_us_;
+  std::atomic<uint64_t>* cancellations_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+std::string SegmentFileName(uint32_t system_id) {
+  return "sys_" + std::to_string(system_id) + ".ntspool";
+}
+
+// Post-crash segment damage. A plain worker crash leaves the segment exactly
+// as the writer's final flush left it (a clean frame boundary); the torn
+// and bit-flip kinds model the failure ending mid-sector or corrupting the
+// medium. Damage offsets are derived from the file size alone, so a given
+// crash point always damages the same bytes.
+void ApplyCrashDamage(const std::string& path, const CrashPlan& plan) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec || size <= kSpoolFileHeaderSize) {
+    return;
+  }
+  if (plan.kind == CrashKind::kTornWrite) {
+    const uint64_t body = size - kSpoolFileHeaderSize;
+    const uint64_t tear = std::min<uint64_t>(std::max<uint32_t>(plan.tear_bytes, 1), body);
+    fs::resize_file(path, size - tear, ec);
+  } else if (plan.kind == CrashKind::kBitFlip) {
+    const long offset =
+        static_cast<long>(kSpoolFileHeaderSize + (size - kSpoolFileHeaderSize) / 2);
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) {
+      return;
+    }
+    int byte = EOF;
+    if (std::fseek(f, offset, SEEK_SET) == 0 && (byte = std::fgetc(f)) != EOF) {
+      std::fseek(f, offset, SEEK_SET);
+      std::fputc(byte ^ (1 << (plan.flip_bit % 8)), f);
+    }
+    std::fclose(f);
+  }
+}
+
+// Supervisor-shared state for one RunFleet invocation.
+struct FleetRunContext {
+  const FleetConfig* config = nullptr;
+  bool durable = false;
+  std::string dir;
+  uint64_t fingerprint = 0;
+  // Completed-system checkpoint log, appended under the lock (the segment
+  // files themselves are per-worker and need no locking).
+  std::mutex manifest_mu;
+  SpoolWriter manifest;
+  bool manifest_ok = false;
+
+  std::atomic<uint64_t> systems_simulated{0};
+  std::atomic<uint64_t> systems_resumed{0};
+  std::atomic<uint64_t> systems_salvaged{0};
+  std::atomic<uint64_t> systems_failed{0};
+  std::atomic<uint64_t> worker_crashes{0};
+  std::atomic<uint64_t> worker_restarts{0};
+  std::atomic<uint64_t> watchdog_cancellations{0};
+  std::atomic<uint64_t> segments_sealed{0};
+  std::atomic<uint64_t> partial_records_salvageable{0};
+};
+
+void SimulateSystem(const SystemOptions& options, SystemShard* shard, TraceSink& sink) {
   const auto start = std::chrono::steady_clock::now();
   // Workload-derived ingest reserve (DESIGN.md §9): a standard-activity
   // system emits on the order of 70k records per simulated day, scaling
@@ -145,7 +625,7 @@ void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
                            std::max(options.activity_scale, 0.1);
   shard->server.ReserveRecords(
       std::min(static_cast<size_t>(estimated), static_cast<size_t>(1) << 20));
-  SimulatedSystem system(options, shard->server);
+  SimulatedSystem system(options, sink);
   shard->stats = system.Run();
   for (const auto& [pid, info] : system.processes().all()) {
     shard->process_names.emplace_back(pid, info.image_name);
@@ -159,6 +639,178 @@ void RunOneSystem(const SystemOptions& options, SystemShard* shard) {
   metrics.system_records.Inc(shard->stats.trace_emitted);
   metrics.system_wall_us_sum.Inc(static_cast<uint64_t>(wall_us));
   metrics.system_wall_us.Observe(static_cast<uint64_t>(wall_us));
+}
+
+// Runs one system under the crash supervisor: spool every delivery, catch an
+// injected crash, damage + salvage-scan the partial segment, and restart
+// from scratch (the pre-drawn seed makes a restart reproduce the identical
+// stream, so "resume" for a live system is simply "re-run"). On success the
+// segment is sealed and logged in the checkpoint manifest.
+void RunSystemWithRecovery(const SystemOptions& options, SystemShard* shard,
+                           FleetRunContext* ctx, WorkerHeartbeat* heart) {
+  const CrashPlan& crash = ctx->config->fault_config.crash;
+  const bool victim = crash.enabled() && crash.system_id == options.system_id;
+  const std::string segment =
+      ctx->durable ? ctx->dir + "/" + SegmentFileName(options.system_id) : std::string();
+  const int max_restarts = std::max(ctx->config->durability.max_restarts, 0);
+  FleetMetrics& metrics = FleetMetrics::Get();
+  for (int attempt = 1;; ++attempt) {
+    SystemShard fresh;
+    SpoolWriter writer;
+    if (ctx->durable) {
+      // A spool that cannot be opened degrades the system to non-durable
+      // rather than failing the run.
+      writer.set_flush_threshold(ctx->config->durability.flush_bytes);
+      writer.Open(segment, options.system_id, ctx->fingerprint);
+    }
+    const bool armed = victim && (crash.at_attempt == 0 || attempt == crash.at_attempt);
+    if (heart != nullptr) {
+      heart->cancel.store(false, std::memory_order_release);
+      heart->last_progress_us.store(NowMicros(), std::memory_order_release);
+      heart->active.store(true, std::memory_order_release);
+    }
+    SpoolingSink sink(fresh.server, writer.ok() ? &writer : nullptr, armed ? &crash : nullptr,
+                      heart);
+    try {
+      SimulateSystem(options, &fresh, sink);
+      if (heart != nullptr) {
+        heart->active.store(false, std::memory_order_release);
+      }
+      fresh.completed = true;
+      if (writer.ok()) {
+        const uint64_t collected = fresh.server.set().records.size();
+        const std::vector<uint8_t> blob = EncodeCompletion(fresh.stats, fresh.process_names);
+        writer.AppendCompletion(blob.data(), blob.size());
+        writer.Seal(collected);
+        const bool sealed = writer.ok();
+        writer.Close();
+        if (sealed) {
+          ctx->segments_sealed.fetch_add(1, std::memory_order_relaxed);
+          metrics.segments_sealed.Inc();
+          std::lock_guard<std::mutex> lock(ctx->manifest_mu);
+          if (ctx->manifest_ok) {
+            SpoolManifestEntry entry;
+            entry.system_id = options.system_id;
+            entry.records_collected = collected;
+            entry.segment_file = SegmentFileName(options.system_id);
+            ctx->manifest.AppendManifestEntry(entry);
+          }
+        }
+      }
+      *shard = std::move(fresh);
+      ctx->systems_simulated.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (const WorkerCrashSignal&) {
+      if (heart != nullptr) {
+        heart->active.store(false, std::memory_order_release);
+      }
+      ctx->worker_crashes.fetch_add(1, std::memory_order_relaxed);
+      metrics.worker_crashes.Inc();
+      writer.Close();
+      if (ctx->durable) {
+        ApplyCrashDamage(segment, crash);
+        // Salvage-scan what the crash left behind: the supervisor records
+        // how much a salvage-only recovery would have kept, and the scan
+        // exercises the reader on every crash the fleet ever takes.
+        const SpoolReadResult partial = SpoolReader::Read(segment);
+        ctx->partial_records_salvageable.fetch_add(partial.records_recovered,
+                                                   std::memory_order_relaxed);
+      }
+      if (attempt > max_restarts) {
+        ctx->systems_failed.fetch_add(1, std::memory_order_relaxed);
+        metrics.systems_failed.Inc();
+        return;
+      }
+      ctx->worker_restarts.fetch_add(1, std::memory_order_relaxed);
+      metrics.worker_restarts.Inc();
+    }
+  }
+}
+
+// Attempts to restore one system from its spool segment instead of
+// simulating it. The recovered shipment frames are replayed through a fresh
+// CollectionServer in file order -- the same delivery order the live run
+// used -- so dedup, sequence-gap and out-of-order bookkeeping re-derive
+// exactly the live counters, and Finish() re-sorts to the identical stream.
+bool TryRestoreShard(const SystemOptions& options, SystemShard* shard, FleetRunContext* ctx,
+                     const std::unordered_map<uint32_t, uint64_t>& manifest_collected) {
+  SpoolReadResult r = SpoolReader::Read(ctx->dir + "/" + SegmentFileName(options.system_id));
+  if (!r.header_valid || r.system_id != options.system_id ||
+      r.config_fingerprint != ctx->fingerprint) {
+    return false;
+  }
+  const bool salvage_mode = ctx->config->durability.salvage;
+  // The completion blob is written after the last shipment, so its presence
+  // proves the whole delivery stream was recovered; without it the segment
+  // is a partial, usable only under salvage.
+  SystemRunStats stats;
+  std::vector<std::pair<uint32_t, std::string>> process_names;
+  const bool have_stats =
+      !r.completion.empty() && DecodeCompletion(r.completion, &stats, &process_names) &&
+      stats.system_id == options.system_id;
+  if (!have_stats && !salvage_mode) {
+    return false;
+  }
+  if (!have_stats && r.records_recovered == 0) {
+    // Nothing usable on disk; re-simulate.
+    return false;
+  }
+
+  SystemShard fresh;
+  for (auto& s : r.shipments) {
+    fresh.server.DeliverShipment(s.header, std::move(s.records));
+  }
+  for (auto& loose : r.loose) {
+    fresh.server.DeliverRecords(std::move(loose));
+  }
+  for (auto& n : r.names) {
+    fresh.server.DeliverName(std::move(n));
+  }
+  fresh.server.Finish();
+  const uint64_t collected = fresh.server.set().records.size();
+
+  // What did the original run collect? The seal is authoritative; for a
+  // damaged segment the checkpoint manifest (a separate file, so an
+  // independent failure domain) still knows; failing both, the damaged
+  // frame's own header gives a lower bound.
+  uint64_t live_collected = collected;
+  if (r.sealed) {
+    live_collected = r.seal.records_collected;
+  } else if (auto it = manifest_collected.find(options.system_id);
+             it != manifest_collected.end()) {
+    live_collected = it->second;
+  } else if (!have_stats) {
+    live_collected = collected + r.records_lost_known;
+  }
+  const uint64_t lost = live_collected > collected ? live_collected - collected : 0;
+
+  if (have_stats) {
+    fresh.stats = std::move(stats);
+    fresh.process_names = std::move(process_names);
+  } else {
+    // Crashed partial accepted under salvage: the agent-side counters died
+    // with the worker. Synthesize the minimal stats that keep the integrity
+    // identity exact -- everything we cannot prove delivered is charged to
+    // corruption, never silently dropped.
+    fresh.stats.system_id = options.system_id;
+    fresh.stats.category = options.category;
+    fresh.stats.trace_records = collected + lost;
+    fresh.stats.trace_emitted = collected + lost;
+  }
+  fresh.completed = true;
+  fresh.records_salvaged = collected;
+  fresh.records_lost_to_corruption = lost;
+  *shard = std::move(fresh);
+
+  FleetMetrics& metrics = FleetMetrics::Get();
+  if (r.sealed && r.frames_damaged == 0 && lost == 0) {
+    ctx->systems_resumed.fetch_add(1, std::memory_order_relaxed);
+    metrics.systems_resumed.Inc();
+  } else {
+    ctx->systems_salvaged.fetch_add(1, std::memory_order_relaxed);
+    metrics.systems_salvaged.Inc();
+  }
+  return true;
 }
 
 int ResolveThreads(int requested, int systems) {
@@ -179,7 +831,9 @@ FleetResult RunFleet(const FleetConfig& config) {
   const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
   FleetMetrics::Get().runs.Inc();
   // Pre-draw every system's seed from the seeder in system-id order; the
-  // per-system seed stream is then fixed before any worker starts.
+  // per-system seed stream is then fixed before any worker starts -- and a
+  // restarted worker re-draws nothing, so a crash-and-restart reproduces the
+  // identical stream.
   std::vector<SystemOptions> all_options;
   all_options.reserve(static_cast<size_t>(config.TotalSystems()));
   Rng seeder(config.seed);
@@ -211,26 +865,81 @@ FleetResult RunFleet(const FleetConfig& config) {
 
   const int total = static_cast<int>(all_options.size());
   std::vector<SystemShard> shards(static_cast<size_t>(total));
-  const int threads = ResolveThreads(config.threads, total);
-  if (threads <= 1) {
-    for (int i = 0; i < total; ++i) {
-      RunOneSystem(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)]);
-    }
-  } else {
-    std::atomic<int> next{0};
-    auto worker = [&] {
-      for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
-        RunOneSystem(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)]);
+
+  FleetRunContext ctx;
+  ctx.config = &config;
+  ctx.durable = config.durability.enabled();
+  std::vector<char> restored(static_cast<size_t>(total), 0);
+  if (ctx.durable) {
+    ctx.dir = config.durability.spool_dir;
+    ctx.fingerprint = FleetConfigFingerprint(config);
+    std::error_code ec;
+    std::filesystem::create_directories(ctx.dir, ec);
+    const std::string manifest_path = ctx.dir + "/manifest.ntspool";
+    // Read the checkpoint manifest before reopening it for append: resume
+    // needs its completed-system log, and loss accounting for damaged
+    // segments needs its record counts.
+    std::unordered_map<uint32_t, uint64_t> manifest_collected;
+    if (config.durability.resume) {
+      const SpoolReadResult m = SpoolReader::Read(manifest_path);
+      if (m.header_valid && m.config_fingerprint == ctx.fingerprint) {
+        for (const SpoolManifestEntry& e : m.manifest) {
+          manifest_collected[e.system_id] = e.records_collected;  // Keep-last.
+        }
       }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
     }
-    for (std::thread& t : pool) {
-      t.join();
+    ctx.manifest_ok = ctx.manifest.OpenAppend(manifest_path, 0, ctx.fingerprint);
+    if (config.durability.resume) {
+      for (int i = 0; i < total; ++i) {
+        if (TryRestoreShard(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)],
+                            &ctx, manifest_collected)) {
+          restored[static_cast<size_t>(i)] = 1;
+        }
+      }
     }
+  }
+
+  const int threads = ResolveThreads(config.threads, total);
+  {
+    std::vector<WorkerHeartbeat> hearts(static_cast<size_t>(threads));
+    // The watchdog only matters when workers can actually wedge: durability
+    // runs (long, unattended) and armed crash plans (the hang kind blocks
+    // until cancelled).
+    const bool watch = config.durability.watchdog_deadline_s > 0 &&
+                       (ctx.durable || config.fault_config.crash.enabled());
+    Watchdog watchdog(&hearts, watch ? config.durability.watchdog_deadline_s : 0.0,
+                      &ctx.watchdog_cancellations);
+    if (threads <= 1) {
+      for (int i = 0; i < total; ++i) {
+        if (!restored[static_cast<size_t>(i)]) {
+          RunSystemWithRecovery(all_options[static_cast<size_t>(i)],
+                                &shards[static_cast<size_t>(i)], &ctx, &hearts[0]);
+        }
+      }
+    } else {
+      std::atomic<int> next{0};
+      auto worker = [&](int slot) {
+        for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+          if (!restored[static_cast<size_t>(i)]) {
+            RunSystemWithRecovery(all_options[static_cast<size_t>(i)],
+                                  &shards[static_cast<size_t>(i)], &ctx,
+                                  &hearts[static_cast<size_t>(slot)]);
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(worker, t);
+      }
+      for (std::thread& t : pool) {
+        t.join();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx.manifest_mu);
+    ctx.manifest.Close();
   }
 
   // Merge shards in system-id order: stats, process names, the integrity
@@ -241,6 +950,9 @@ FleetResult RunFleet(const FleetConfig& config) {
   std::vector<std::vector<TraceRecord>> sorted_runs;
   sorted_runs.reserve(shards.size());
   for (SystemShard& shard : shards) {
+    if (!shard.completed) {
+      continue;  // Crash restarts exhausted; the system is absent.
+    }
     const SystemRunStats& s = shard.stats;
     for (auto& [pid, name] : shard.process_names) {
       result.trace.process_names.emplace(pid, std::move(name));
@@ -269,7 +981,11 @@ FleetResult RunFleet(const FleetConfig& config) {
         }
       }
     }
+    row.records_salvaged = shard.records_salvaged;
+    row.records_lost_to_corruption = shard.records_lost_to_corruption;
     result.integrity.systems.push_back(row);
+    result.recovery.records_salvaged += shard.records_salvaged;
+    result.recovery.records_lost_to_corruption += shard.records_lost_to_corruption;
 
     TraceSet& collected = shard.server.Finish();  // Already sorted by the worker.
     sorted_runs.push_back(std::move(collected.records));
@@ -286,6 +1002,20 @@ FleetResult RunFleet(const FleetConfig& config) {
   FleetMetrics& metrics = FleetMetrics::Get();
   metrics.merge_wall_us_sum.Inc(static_cast<uint64_t>(merge_us));
   metrics.last_merge_wall_us.Set(merge_us);
+
+  result.recovery.systems_simulated = ctx.systems_simulated.load();
+  result.recovery.systems_resumed = ctx.systems_resumed.load();
+  result.recovery.systems_salvaged = ctx.systems_salvaged.load();
+  result.recovery.systems_failed = ctx.systems_failed.load();
+  result.recovery.worker_crashes = ctx.worker_crashes.load();
+  result.recovery.worker_restarts = ctx.worker_restarts.load();
+  result.recovery.watchdog_cancellations = ctx.watchdog_cancellations.load();
+  // A resumed system's segment was sealed by the invocation that completed
+  // it; the field reports seals on disk at the end of the run, not seal
+  // writes performed by this one (the metric counter keeps that meaning).
+  result.recovery.segments_sealed = ctx.segments_sealed.load() + ctx.systems_resumed.load();
+  result.recovery.partial_records_salvageable = ctx.partial_records_salvageable.load();
+
   result.metrics = MetricsRegistry::Global().Snapshot().DeltaFrom(metrics_before);
   return result;
 }

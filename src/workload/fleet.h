@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/metrics/metrics.h"
@@ -25,6 +26,60 @@
 #include "src/workload/simulated_system.h"
 
 namespace ntrace {
+
+// Durable-spool and crash-recovery configuration (DESIGN.md §10). Off by
+// default: with an empty spool_dir the fleet touches no disk and behaves
+// exactly as before the durability layer existed.
+struct DurabilityConfig {
+  // Directory for per-system spool segments and the checkpoint manifest.
+  // Created if missing. Empty disables durability entirely.
+  std::string spool_dir;
+  // Restore systems from sealed segments found in spool_dir instead of
+  // re-simulating them (segments are validated against a fingerprint of the
+  // fleet configuration, so a stale directory is ignored, never trusted).
+  bool resume = true;
+  // Also accept damaged or unsealed segments: replay the valid prefix and
+  // charge what the original run had collected beyond it to
+  // records_lost_to_corruption. Without salvage, damaged segments are
+  // re-simulated from scratch.
+  bool salvage = false;
+  // Restarts granted per system after a crash before it is declared failed
+  // and dropped from the merged output.
+  int max_restarts = 3;
+  // A worker that delivers nothing for this long (wall clock) is cancelled
+  // by the watchdog and treated as crashed. <= 0 disables the watchdog.
+  double watchdog_deadline_s = 30.0;
+  // Spool flush granularity: ordinary frames batch in the stdio buffer
+  // until this many bytes accumulate (checkpoint frames always flush).
+  // 0 flushes every frame -- maximum durability, an order of magnitude
+  // more flush syscalls. Excluded from the config fingerprint: like
+  // `threads`, it cannot change the output.
+  size_t flush_bytes = 1u << 20;
+
+  bool enabled() const { return !spool_dir.empty(); }
+};
+
+// What the supervisor did to get the run finished (wall-clock facts, like
+// FleetResult::metrics excluded from the bit-identical output contract --
+// except records_salvaged / records_lost_to_corruption, which are exact).
+struct FleetRecoveryStats {
+  uint64_t systems_simulated = 0;    // Ran live (restarted runs count once).
+  uint64_t systems_resumed = 0;      // Restored from sealed segments.
+  uint64_t systems_salvaged = 0;     // Restored from damaged segments.
+  uint64_t systems_failed = 0;       // Restarts exhausted; absent from output.
+  uint64_t worker_crashes = 0;       // Injected crashes observed.
+  uint64_t worker_restarts = 0;
+  uint64_t watchdog_cancellations = 0;
+  // Systems ending the run with a sealed checkpoint segment on disk: those
+  // sealed by this invocation's workers plus those resumed from a seal left
+  // by an earlier one.
+  uint64_t segments_sealed = 0;
+  // Records readable from crashed partial segments at the time of the crash
+  // (what a salvage-only recovery would have kept).
+  uint64_t partial_records_salvageable = 0;
+  uint64_t records_salvaged = 0;
+  uint64_t records_lost_to_corruption = 0;
+};
 
 struct FleetConfig {
   // Systems per usage category (paper total: 45). Defaults give a small,
@@ -49,6 +104,11 @@ struct FleetConfig {
   // are reproducible per system). Disabled by default.
   FaultConfig fault_config;
   ShipmentPolicy shipment_policy;
+  // Durable spool + checkpoint/resume (DESIGN.md §10). Like `threads`,
+  // enabling durability never changes the merged output of a run that
+  // finishes: trace bytes, names and integrity are bit-identical with the
+  // spool on or off, across crashes and resumes.
+  DurabilityConfig durability;
 
   // Worker threads simulating systems concurrently: 1 = sequential
   // (default), 0 = hardware concurrency, N = pool of N (capped at the
@@ -77,6 +137,9 @@ struct FleetResult {
   // and cache hit ratio here equal the figure-13 / section-9 values
   // computed from the merged trace of the same run.
   MetricsSnapshot metrics;
+  // What the crash-recovery supervisor did (all zero when durability is off
+  // and no crash plan is armed).
+  FleetRecoveryStats recovery;
 
   // Aggregates across systems.
   CacheStats TotalCache() const;

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +86,8 @@ void ExpectSameIntegrity(const IntegrityReport& a, const IntegrityReport& b) {
     EXPECT_EQ(x.sequence_gaps, y.sequence_gaps);
     EXPECT_EQ(x.records_collected, y.records_collected);
     EXPECT_EQ(x.duplicate_records_discarded, y.duplicate_records_discarded);
+    EXPECT_EQ(x.records_salvaged, y.records_salvaged);
+    EXPECT_EQ(x.records_lost_to_corruption, y.records_lost_to_corruption);
   }
 }
 
@@ -147,6 +150,30 @@ TEST(FleetDeterminism, ConcurrentPathLookupsAreSafe) {
   // Every thread resolves every name record (later duplicates of a reused
   // file-object id shadow earlier ones in the index, but all resolve).
   EXPECT_EQ(resolved.load(), copy.names.size() * 8);
+}
+
+TEST(FleetDeterminism, DurableRunBitIdenticalToNonDurable) {
+  // Enabling the trace spool (DESIGN.md §10) must not perturb the output:
+  // a durable run is byte-identical to a non-durable one, per thread count.
+  FleetConfig reference_config = SmallConfig();
+  reference_config.threads = 1;
+  const FleetResult reference = RunFleet(reference_config);
+  const std::vector<unsigned char> reference_bytes =
+      SerializedBytes(reference.trace, "durable_ref");
+
+  for (int threads : {1, 2}) {
+    FleetConfig durable = SmallConfig();
+    durable.threads = threads;
+    durable.durability.spool_dir =
+        testing::TempDir() + "/fleet_determinism_spool_t" + std::to_string(threads);
+    std::filesystem::remove_all(durable.durability.spool_dir);
+    const FleetResult result = RunFleet(durable);
+    EXPECT_TRUE(SerializedBytes(result.trace, "durable_t" + std::to_string(threads)) ==
+                reference_bytes)
+        << "durable run differs from non-durable at threads=" << threads;
+    ExpectSameIntegrity(result.integrity, reference.integrity);
+    std::filesystem::remove_all(durable.durability.spool_dir);
+  }
 }
 
 TEST(FleetDeterminism, HardwareConcurrencyDefaultMatchesSequential) {

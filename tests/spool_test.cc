@@ -1,0 +1,436 @@
+// Trace-spool format and salvage contract (DESIGN.md §10):
+//  - lossless roundtrip of every frame type through a sealed segment;
+//  - the v1 on-disk bytes are pinned (golden layout + a byte-for-byte
+//    reconstruction from the documented format);
+//  - salvage is exactly the longest valid frame prefix: a truncation sweep
+//    over every byte length and a seeded bit-flip fuzz must never crash the
+//    reader and never yield anything but a prefix of the original frames.
+
+#include "src/trace/spool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/crc32c.h"
+#include "src/base/rng.h"
+
+namespace ntrace {
+namespace {
+
+TraceRecord MakeRecord(uint32_t system_id, uint64_t i) {
+  TraceRecord r;
+  r.file_object = 0x1000 + i;
+  r.start_ticks = static_cast<int64_t>(100 * i);
+  r.complete_ticks = static_cast<int64_t>(100 * i + 7);
+  r.offset = 512 * i;
+  r.file_size = 1 << 20;
+  r.length = 4096;
+  r.returned = 4096;
+  r.process_id = 42;
+  r.event = static_cast<uint16_t>(TraceEvent::kIrpRead);
+  r.system_id = system_id;
+  return r;
+}
+
+std::vector<TraceRecord> MakeRecords(uint32_t system_id, uint64_t base, size_t n) {
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(MakeRecord(system_id, base + i));
+  }
+  return records;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f != nullptr) {
+    uint8_t buf[1 << 14];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string TempPath(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+TEST(Spool, RoundTripSealedSegment) {
+  const std::string path = TempPath("spool_roundtrip.ntspool");
+  SpoolWriter writer;
+  ASSERT_TRUE(writer.Open(path, 7, 0xFEEDFACE12345678ULL));
+
+  ShipmentHeader h1{7, 1, 1, 3};
+  ShipmentHeader h2{7, 2, 2, 2};
+  ASSERT_TRUE(writer.AppendShipment(h1, MakeRecords(7, 0, 3)));
+  NameRecord name;
+  name.file_object = 0x1000;
+  name.system_id = 7;
+  name.path = "C:\\temp\\build.log";
+  ASSERT_TRUE(writer.AppendName(name));
+  ASSERT_TRUE(writer.AppendShipment(h2, MakeRecords(7, 3, 2)));
+  ASSERT_TRUE(writer.AppendRecords(MakeRecords(7, 5, 1)));
+  const std::string blob = "opaque-completion-blob";
+  ASSERT_TRUE(writer.AppendCompletion(blob.data(), blob.size()));
+  ASSERT_TRUE(writer.Seal(6));
+  writer.Close();
+
+  const SpoolReadResult r = SpoolReader::Read(path);
+  EXPECT_TRUE(r.file_opened);
+  ASSERT_TRUE(r.header_valid);
+  EXPECT_EQ(r.version, kSpoolVersion);
+  EXPECT_EQ(r.system_id, 7u);
+  EXPECT_EQ(r.config_fingerprint, 0xFEEDFACE12345678ULL);
+  EXPECT_TRUE(r.sealed);
+  EXPECT_EQ(r.seal.records_delivered, 6u);
+  EXPECT_EQ(r.seal.records_collected, 6u);
+  EXPECT_EQ(r.seal.name_count, 1u);
+  EXPECT_EQ(r.seal.frame_count, 5u);
+  EXPECT_EQ(r.frames_damaged, 0u);
+  EXPECT_EQ(r.bytes_discarded, 0u);
+  EXPECT_EQ(r.records_recovered, 6u);
+
+  ASSERT_EQ(r.shipments.size(), 2u);
+  EXPECT_EQ(r.shipments[0].header.sequence, 1u);
+  EXPECT_EQ(r.shipments[0].header.record_count, 3u);
+  ASSERT_EQ(r.shipments[0].records.size(), 3u);
+  EXPECT_EQ(std::memcmp(r.shipments[0].records.data(), MakeRecords(7, 0, 3).data(),
+                        3 * sizeof(TraceRecord)),
+            0);
+  EXPECT_EQ(r.shipments[1].header.attempt, 2u);
+  ASSERT_EQ(r.loose.size(), 1u);
+  EXPECT_EQ(r.loose[0].size(), 1u);
+  ASSERT_EQ(r.names.size(), 1u);
+  EXPECT_EQ(r.names[0].path, "C:\\temp\\build.log");
+  EXPECT_EQ(std::string(r.completion.begin(), r.completion.end()), blob);
+  std::remove(path.c_str());
+}
+
+TEST(Spool, ManifestRoundTripAndAppend) {
+  const std::string path = TempPath("spool_manifest.ntspool");
+  std::remove(path.c_str());
+  {
+    SpoolWriter writer;
+    ASSERT_TRUE(writer.OpenAppend(path, 0, 0xABCD));
+    SpoolManifestEntry e;
+    e.system_id = 3;
+    e.records_collected = 1234;
+    e.segment_file = "sys_3.ntspool";
+    ASSERT_TRUE(writer.AppendManifestEntry(e));
+  }
+  {
+    // Same fingerprint: entries accumulate across invocations.
+    SpoolWriter writer;
+    ASSERT_TRUE(writer.OpenAppend(path, 0, 0xABCD));
+    SpoolManifestEntry e;
+    e.system_id = 5;
+    e.records_collected = 99;
+    e.segment_file = "sys_5.ntspool";
+    ASSERT_TRUE(writer.AppendManifestEntry(e));
+  }
+  SpoolReadResult r = SpoolReader::Read(path);
+  ASSERT_TRUE(r.header_valid);
+  ASSERT_EQ(r.manifest.size(), 2u);
+  EXPECT_EQ(r.manifest[0].system_id, 3u);
+  EXPECT_EQ(r.manifest[0].records_collected, 1234u);
+  EXPECT_EQ(r.manifest[0].segment_file, "sys_3.ntspool");
+  EXPECT_EQ(r.manifest[1].system_id, 5u);
+
+  {
+    // A different fingerprint must start the manifest over, never mix runs.
+    SpoolWriter writer;
+    ASSERT_TRUE(writer.OpenAppend(path, 0, 0xD00D));
+  }
+  r = SpoolReader::Read(path);
+  ASSERT_TRUE(r.header_valid);
+  EXPECT_EQ(r.config_fingerprint, 0xD00Du);
+  EXPECT_TRUE(r.manifest.empty());
+  std::remove(path.c_str());
+}
+
+// Pins the v1 on-disk format: the file header bytes are pinned literally,
+// and the whole segment must equal a byte-for-byte reconstruction from the
+// documented layout (with CRC-32C itself pinned by crc32c_test's RFC
+// vectors). If this test breaks, the format changed -- bump kSpoolVersion.
+TEST(Spool, GoldenV1Format) {
+  const std::string path = TempPath("spool_golden.ntspool");
+  SpoolWriter writer;
+  ASSERT_TRUE(writer.Open(path, 0x0A0B0C0D, 0x1122334455667788ULL));
+  ShipmentHeader h{0x0A0B0C0D, 9, 1, 2};
+  ASSERT_TRUE(writer.AppendShipment(h, MakeRecords(0x0A0B0C0D, 0, 2)));
+  ASSERT_TRUE(writer.Seal(2));
+  writer.Close();
+  const std::vector<uint8_t> actual = ReadFileBytes(path);
+
+  // File header: magic "NTSPOOL1", version 1, system id, fingerprint (LE).
+  const uint8_t golden_header[kSpoolFileHeaderSize] = {
+      'N', 'T', 'S', 'P', 'O', 'O', 'L', '1',          // u64 magic.
+      0x01, 0x00, 0x00, 0x00,                          // u32 version = 1.
+      0x0D, 0x0C, 0x0B, 0x0A,                          // u32 system_id.
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // u64 fingerprint.
+  };
+  ASSERT_GE(actual.size(), kSpoolFileHeaderSize);
+  EXPECT_EQ(std::memcmp(actual.data(), golden_header, sizeof(golden_header)), 0);
+
+  // Reconstruct the full segment from the documented layout.
+  std::vector<uint8_t> expected(golden_header, golden_header + sizeof(golden_header));
+  auto put32 = [&expected](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      expected.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put16 = [&expected](uint16_t v) {
+    expected.push_back(static_cast<uint8_t>(v));
+    expected.push_back(static_cast<uint8_t>(v >> 8));
+  };
+  auto put_frame = [&](uint16_t type, const std::vector<uint8_t>& payload) {
+    const size_t at = expected.size();
+    put32(kSpoolFrameMagic);
+    put16(type);
+    put16(0);
+    put32(static_cast<uint32_t>(payload.size()));
+    put32(Crc32c(payload.data(), payload.size()));
+    put32(Crc32c(expected.data() + at, kSpoolFrameHeaderSize - 4));
+    expected.insert(expected.end(), payload.begin(), payload.end());
+  };
+  {
+    std::vector<uint8_t> payload;
+    auto p32 = [&payload](uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    auto p64 = [&payload](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    p32(h.system_id);
+    p64(h.sequence);
+    p32(h.attempt);
+    p64(h.record_count);
+    const std::vector<TraceRecord> records = MakeRecords(0x0A0B0C0D, 0, 2);
+    const size_t at = payload.size();
+    payload.resize(at + 2 * sizeof(TraceRecord));
+    std::memcpy(payload.data() + at, records.data(), 2 * sizeof(TraceRecord));
+    put_frame(static_cast<uint16_t>(SpoolFrameType::kShipment), payload);
+  }
+  {
+    std::vector<uint8_t> payload;
+    auto p64 = [&payload](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    p64(2);  // records_delivered.
+    p64(2);  // records_collected.
+    p64(0);  // name_count.
+    p64(1);  // frame_count before the seal.
+    put_frame(static_cast<uint16_t>(SpoolFrameType::kSeal), payload);
+  }
+  EXPECT_EQ(actual, expected);
+  std::remove(path.c_str());
+}
+
+// Builds a multi-frame segment and returns (bytes, per-frame end offsets,
+// cumulative records at each frame end) for prefix-property checks.
+struct GoldenSegment {
+  std::vector<uint8_t> bytes;
+  std::vector<size_t> frame_ends;
+  std::vector<uint64_t> records_at;
+  std::vector<std::vector<TraceRecord>> shipment_records;
+};
+
+GoldenSegment BuildSegment(const std::string& path) {
+  GoldenSegment g;
+  SpoolWriter writer;
+  EXPECT_TRUE(writer.Open(path, 11, 0xBEEF));
+  uint64_t records = 0;
+  uint64_t base = 0;
+  for (uint64_t sequence = 1; sequence <= 3; ++sequence) {
+    const size_t n = 2 + static_cast<size_t>(sequence);
+    const std::vector<TraceRecord> batch = MakeRecords(11, base, n);
+    base += n;
+    ShipmentHeader h{11, sequence, 1, n};
+    EXPECT_TRUE(writer.AppendShipment(h, batch));
+    g.shipment_records.push_back(batch);
+    records += n;
+    g.frame_ends.push_back(static_cast<size_t>(writer.bytes_written()));
+    g.records_at.push_back(records);
+    NameRecord name;
+    name.file_object = 0x2000 + sequence;
+    name.system_id = 11;
+    name.path = "C:\\users\\seq" + std::to_string(sequence);
+    EXPECT_TRUE(writer.AppendName(name));
+    g.frame_ends.push_back(static_cast<size_t>(writer.bytes_written()));
+    g.records_at.push_back(records);
+  }
+  EXPECT_TRUE(writer.Seal(records));
+  g.frame_ends.push_back(static_cast<size_t>(writer.bytes_written()));
+  g.records_at.push_back(records);
+  writer.Close();
+  g.bytes = ReadFileBytes(path);
+  EXPECT_EQ(g.bytes.size(), g.frame_ends.back());
+  return g;
+}
+
+TEST(SpoolSalvage, TruncationSweepRecoversExactPrefix) {
+  const std::string build_path = TempPath("spool_sweep_src.ntspool");
+  const GoldenSegment g = BuildSegment(build_path);
+  const std::string path = TempPath("spool_sweep.ntspool");
+
+  for (size_t len = 0; len <= g.bytes.size(); ++len) {
+    WriteFileBytes(path, std::vector<uint8_t>(g.bytes.begin(), g.bytes.begin() + len));
+    const SpoolReadResult r = SpoolReader::Read(path);
+    if (len < kSpoolFileHeaderSize) {
+      EXPECT_FALSE(r.header_valid) << "len=" << len;
+      EXPECT_EQ(r.records_recovered, 0u) << "len=" << len;
+      continue;
+    }
+    ASSERT_TRUE(r.header_valid) << "len=" << len;
+    // The salvage must be exactly the frames wholly inside the prefix.
+    size_t whole_frames = 0;
+    uint64_t expected_records = 0;
+    for (size_t i = 0; i < g.frame_ends.size(); ++i) {
+      if (g.frame_ends[i] <= len) {
+        whole_frames = i + 1;
+        expected_records = g.records_at[i];
+      }
+    }
+    EXPECT_EQ(r.frames_valid, whole_frames) << "len=" << len;
+    EXPECT_EQ(r.records_recovered, expected_records) << "len=" << len;
+    EXPECT_EQ(r.sealed, len >= g.bytes.size()) << "len=" << len;
+    // Anything cut mid-frame is reported damaged, and the byte count adds up.
+    const size_t last_end = whole_frames == 0 ? kSpoolFileHeaderSize
+                                              : g.frame_ends[whole_frames - 1];
+    EXPECT_EQ(r.frames_damaged, len > last_end ? 1u : 0u) << "len=" << len;
+    EXPECT_EQ(r.bytes_discarded, len - last_end) << "len=" << len;
+  }
+  std::remove(path.c_str());
+  std::remove(build_path.c_str());
+}
+
+TEST(SpoolSalvage, BitFlipFuzzNeverCrashesAndYieldsOnlyPrefixes) {
+  const std::string build_path = TempPath("spool_fuzz_src.ntspool");
+  const GoldenSegment g = BuildSegment(build_path);
+  const std::string path = TempPath("spool_fuzz.ntspool");
+  Rng rng(0x5EED5EED);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> bytes = g.bytes;
+    // 1-3 bit flips anywhere in the file, sometimes plus a truncation.
+    const int flips = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < flips; ++i) {
+      const size_t bit = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size() * 8 - 1)));
+      bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    if (rng.NextDouble() < 0.25) {
+      bytes.resize(static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(bytes.size()))));
+    }
+    WriteFileBytes(path, bytes);
+    const SpoolReadResult r = SpoolReader::Read(path);  // Must not crash/throw.
+
+    // Whatever survives must be a prefix of the original shipments with
+    // byte-identical payloads -- salvage never invents or reorders data.
+    ASSERT_LE(r.shipments.size(), g.shipment_records.size()) << "iter=" << iter;
+    for (size_t i = 0; i < r.shipments.size(); ++i) {
+      ASSERT_EQ(r.shipments[i].records.size(), g.shipment_records[i].size())
+          << "iter=" << iter << " shipment=" << i;
+      EXPECT_EQ(std::memcmp(r.shipments[i].records.data(), g.shipment_records[i].data(),
+                            g.shipment_records[i].size() * sizeof(TraceRecord)),
+                0)
+          << "iter=" << iter << " shipment=" << i;
+    }
+    if (r.header_valid && r.frames_damaged == 0 && bytes.size() == g.bytes.size()) {
+      // All flips landed after the seal or in discarded tail bytes -- with a
+      // full-size file the only way to stay undamaged is full recovery.
+      EXPECT_EQ(r.records_recovered, g.records_at.back()) << "iter=" << iter;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(build_path.c_str());
+}
+
+TEST(SpoolSalvage, DamagedPayloadUnderIntactHeaderCountsKnownLoss) {
+  const std::string path = TempPath("spool_known_loss.ntspool");
+  SpoolWriter writer;
+  ASSERT_TRUE(writer.Open(path, 4, 0x11));
+  ShipmentHeader h1{4, 1, 1, 2};
+  ShipmentHeader h2{4, 2, 1, 5};
+  ASSERT_TRUE(writer.AppendShipment(h1, MakeRecords(4, 0, 2)));
+  const size_t second_frame_at = static_cast<size_t>(writer.bytes_written());
+  ASSERT_TRUE(writer.AppendShipment(h2, MakeRecords(4, 2, 5)));
+  ASSERT_TRUE(writer.Seal(7));
+  writer.Close();
+
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Corrupt one payload byte of the second shipment; its frame header stays
+  // intact, so the reader can still report how many records were lost.
+  bytes[second_frame_at + kSpoolFrameHeaderSize + 40] ^= 0x01;
+  WriteFileBytes(path, bytes);
+
+  const SpoolReadResult r = SpoolReader::Read(path);
+  ASSERT_TRUE(r.header_valid);
+  EXPECT_FALSE(r.sealed);
+  EXPECT_EQ(r.shipments.size(), 1u);
+  EXPECT_EQ(r.records_recovered, 2u);
+  EXPECT_EQ(r.frames_damaged, 1u);
+  EXPECT_EQ(r.records_lost_known, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(SpoolSalvage, GarbageAfterSealIsDiscarded) {
+  const std::string path = TempPath("spool_tail.ntspool");
+  SpoolWriter writer;
+  ASSERT_TRUE(writer.Open(path, 2, 0x22));
+  ShipmentHeader h{2, 1, 1, 3};
+  ASSERT_TRUE(writer.AppendShipment(h, MakeRecords(2, 0, 3)));
+  ASSERT_TRUE(writer.Seal(3));
+  writer.Close();
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  for (int i = 0; i < 100; ++i) {
+    bytes.push_back(static_cast<uint8_t>(i * 37));
+  }
+  WriteFileBytes(path, bytes);
+
+  const SpoolReadResult r = SpoolReader::Read(path);
+  ASSERT_TRUE(r.header_valid);
+  EXPECT_TRUE(r.sealed);
+  EXPECT_EQ(r.records_recovered, 3u);
+  EXPECT_EQ(r.frames_damaged, 0u);
+  EXPECT_EQ(r.bytes_discarded, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(SpoolSalvage, MissingAndEmptyFiles) {
+  const SpoolReadResult missing = SpoolReader::Read(TempPath("spool_never_written.ntspool"));
+  EXPECT_FALSE(missing.file_opened);
+  EXPECT_FALSE(missing.header_valid);
+
+  const std::string path = TempPath("spool_empty.ntspool");
+  WriteFileBytes(path, {});
+  const SpoolReadResult empty = SpoolReader::Read(path);
+  EXPECT_TRUE(empty.file_opened);
+  EXPECT_FALSE(empty.header_valid);
+  EXPECT_EQ(empty.records_recovered, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ntrace
