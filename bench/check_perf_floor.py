@@ -20,17 +20,38 @@ def fail(path, message):
     return 1
 
 
-def check_file(path, floors):
+def check_extra_floors(path, doc, bench, extra_floors):
+    """Advisory floors for additional top-level keys (e.g. the loopback
+    ingest rate of the networked collection tier). A missing key fails:
+    the JSON guard requires it, so absence means the emitter broke."""
+    errors = 0
+    for key, floor in extra_floors.get(bench, {}).items():
+        value = doc.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors += fail(path, f'"{key}" missing or not a number: {value!r}')
+            continue
+        if value < floor:
+            print(
+                f"::warning file={path}::bench {bench!r} {key} {value:.0f} is "
+                f"below the advisory floor {floor:.0f}; possible regression"
+            )
+        else:
+            print(f"{path}: {bench!r} {key} {value:.0f} >= floor {floor:.0f} (ok)")
+    return errors
+
+
+def check_file(path, floors, extra_floors):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return fail(path, f"unreadable or invalid JSON: {e}")
     bench = doc.get("bench")
+    extra_errors = check_extra_floors(path, doc, bench, extra_floors)
     floor = floors.get(bench)
     if floor is None:
         print(f"{path}: no floor registered for bench {bench!r}; skipping")
-        return 0
+        return extra_errors
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         return fail(path, '"runs" missing or empty')
@@ -49,7 +70,7 @@ def check_file(path, floors):
         )
     else:
         print(f"{path}: {bench!r} {rps:.0f} records/s >= floor {floor:.0f} (ok)")
-    return 0
+    return extra_errors
 
 
 def main(argv):
@@ -58,12 +79,14 @@ def main(argv):
         return 2
     try:
         with open(argv[1], "r", encoding="utf-8") as f:
-            floors = json.load(f)["floors"]
+            doc = json.load(f)
+            floors = doc["floors"]
+            extra_floors = doc.get("extra_floors", {})
     except (OSError, json.JSONDecodeError, KeyError) as e:
         return fail(argv[1], f"cannot load floors: {e}")
     errors = 0
     for path in argv[2:]:
-        errors += check_file(path, floors)
+        errors += check_file(path, floors, extra_floors)
     return 1 if errors else 0
 
 

@@ -34,6 +34,66 @@ std::string_view CrashKindName(CrashKind kind) {
   return "unknown";
 }
 
+std::string_view TransportFaultKindName(TransportFaultKind kind) {
+  switch (kind) {
+    case TransportFaultKind::kNone:
+      return "none";
+    case TransportFaultKind::kReset:
+      return "reset";
+    case TransportFaultKind::kPartialWrite:
+      return "partial-write";
+    case TransportFaultKind::kDelay:
+      return "delay";
+    case TransportFaultKind::kDuplicate:
+      return "duplicate";
+    case TransportFaultKind::kReorder:
+      return "reorder";
+    case TransportFaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+TransportFaultInjector::TransportFaultInjector(const TransportFaultPlan& plan, uint64_t seed,
+                                               uint64_t stream)
+    : plan_(plan), rng_(seed + 0x94D049BB133111EBULL * (stream + 1)) {}
+
+TransportFaultKind TransportFaultInjector::Draw() {
+  if (!plan_.enabled()) {
+    return TransportFaultKind::kNone;
+  }
+  ++draws_;
+  // Fixed order, most disruptive first; one Bernoulli per enabled kind per
+  // frame keeps the stream deterministic even when caps silence a kind
+  // (the draw still happens, only the effect is suppressed).
+  const struct {
+    TransportFaultKind kind;
+    double p;
+  } kinds[] = {
+      {TransportFaultKind::kReset, plan_.reset_probability},
+      {TransportFaultKind::kPartialWrite, plan_.partial_write_probability},
+      {TransportFaultKind::kStall, plan_.stall_probability},
+      {TransportFaultKind::kReorder, plan_.reorder_probability},
+      {TransportFaultKind::kDuplicate, plan_.duplicate_probability},
+      {TransportFaultKind::kDelay, plan_.delay_probability},
+  };
+  TransportFaultKind fired = TransportFaultKind::kNone;
+  for (const auto& k : kinds) {
+    if (k.p <= 0.0) {
+      continue;
+    }
+    const bool hit = rng_.Bernoulli(k.p);
+    if (hit && fired == TransportFaultKind::kNone) {
+      uint64_t& count = injected_[static_cast<size_t>(k.kind) - 1];
+      if (plan_.max_per_kind == 0 || count < plan_.max_per_kind) {
+        ++count;
+        fired = k.kind;
+      }
+    }
+  }
+  return fired;
+}
+
 namespace {
 
 // Independent per-site streams: seed each site's Rng from (seed, site index)

@@ -80,6 +80,83 @@ enum class CrashKind : uint8_t {
 
 std::string_view CrashKindName(CrashKind kind);
 
+// Transport fault kinds (DESIGN.md §11). Unlike the per-operation sites
+// above -- which model *semantic* failures the agent observes (a shipment
+// that never arrives) -- these model the mechanics of a real network link
+// under the collection tier: the byte stream tears, duplicates, reorders or
+// stalls, and the session layer (src/net) must deliver every record exactly
+// once anyway. Injected on the agent side of the socket; the server has to
+// survive whatever the wire does to it.
+enum class TransportFaultKind : uint8_t {
+  kNone = 0,
+  kReset,         // Connection closed abruptly before the frame is sent.
+  kPartialWrite,  // A prefix of the frame reaches the wire, then the
+                  // connection resets (torn frame on the server side).
+  kDelay,         // Frame held back briefly before transmission.
+  kDuplicate,     // Frame transmitted twice back to back.
+  kReorder,       // Frame held back and sent after its successor.
+  kStall,         // Socket goes silent long enough to trip deadlines
+                  // (agent send timeout / server slow-client eviction).
+};
+constexpr int kNumTransportFaultKinds = 6;  // Excluding kNone.
+
+std::string_view TransportFaultKindName(TransportFaultKind kind);
+
+// Per-connection transport fault schedule. Each kind fires independently
+// with its own per-frame probability; evaluation order is fixed (reset,
+// partial-write, stall, reorder, duplicate, delay -- most to least
+// disruptive) and the first kind to fire wins, so a given (seed, frame
+// index) always injects the same fault. Like FaultPlan, a default
+// constructed plan injects nothing and draws nothing.
+struct TransportFaultPlan {
+  double reset_probability = 0.0;
+  double partial_write_probability = 0.0;
+  double delay_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  double stall_probability = 0.0;
+  // Injections per kind per connection lifetime; 0 = unlimited. Tests cap
+  // the expensive kinds (stall sleeps in wall clock) without giving up
+  // determinism.
+  uint32_t max_per_kind = 0;
+  // Wall-clock magnitudes. Delay is cosmetic jitter; the stall must exceed
+  // the peer's deadline to be observable.
+  double delay_ms = 2.0;
+  double stall_ms = 400.0;
+
+  bool enabled() const {
+    return reset_probability > 0.0 || partial_write_probability > 0.0 ||
+           delay_probability > 0.0 || duplicate_probability > 0.0 || reorder_probability > 0.0 ||
+           stall_probability > 0.0;
+  }
+};
+
+// Draws transport faults for one connection from its own seeded stream
+// (stream = agent id, forked the same way FaultInjector forks per-system
+// streams). Deterministic: the k-th draw of a given (seed, stream) is the
+// same fault on every run, independent of wall clock or scheduling.
+class TransportFaultInjector {
+ public:
+  TransportFaultInjector() = default;
+  TransportFaultInjector(const TransportFaultPlan& plan, uint64_t seed, uint64_t stream);
+
+  // Evaluates one outbound frame. Returns the first kind that fires (fixed
+  // evaluation order), or kNone.
+  TransportFaultKind Draw();
+
+  const TransportFaultPlan& plan() const { return plan_; }
+  uint64_t draws() const { return draws_; }
+  uint64_t injected(TransportFaultKind kind) const {
+    return kind == TransportFaultKind::kNone ? 0 : injected_[static_cast<size_t>(kind) - 1];
+  }
+
+ private:
+  TransportFaultPlan plan_;
+  Rng rng_;
+  uint64_t draws_ = 0;
+  uint64_t injected_[kNumTransportFaultKinds] = {};
+};
+
 struct CrashPlan {
   CrashKind kind = CrashKind::kNone;
   // 1-based id of the victim system (0 disables the plan).

@@ -82,13 +82,6 @@ bool GetBytes(const uint8_t* data, size_t size, size_t* pos, void* out, size_t n
   return true;
 }
 
-void PutShipmentHeader(std::vector<uint8_t>* out, const ShipmentHeader& h) {
-  PutScalar<uint32_t>(out, h.system_id);
-  PutScalar<uint64_t>(out, h.sequence);
-  PutScalar<uint32_t>(out, h.attempt);
-  PutScalar<uint64_t>(out, h.record_count);
-}
-
 bool GetRecords(const uint8_t* data, size_t size, size_t* pos, uint64_t count,
                 std::vector<TraceRecord>* out) {
   if (count > kSpoolMaxPayload / sizeof(TraceRecord) ||
@@ -100,7 +93,125 @@ bool GetRecords(const uint8_t* data, size_t size, size_t* pos, uint64_t count,
          GetBytes(data, size, pos, out->data(), static_cast<size_t>(count) * sizeof(TraceRecord));
 }
 
+void Store32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared v1 frame codec (also the wire format of src/net).
+// ---------------------------------------------------------------------------
+
+void SpoolFillFrameHeader(uint8_t* header, uint16_t type, uint32_t payload_size,
+                          uint32_t payload_crc) {
+  Store32(header, kSpoolFrameMagic);
+  header[4] = static_cast<uint8_t>(type);
+  header[5] = static_cast<uint8_t>(type >> 8);
+  header[6] = header[7] = 0;  // Reserved.
+  Store32(header + 8, payload_size);
+  Store32(header + 12, payload_crc);
+  Store32(header + 16, Crc32c(header, kSpoolFrameHeaderSize - 4));
+}
+
+void SpoolAppendFrame(std::vector<uint8_t>* out, uint16_t type, const void* head,
+                      size_t head_size, const void* tail, size_t tail_size) {
+  const size_t at = out->size();
+  out->resize(at + kSpoolFrameHeaderSize);
+  SpoolFillFrameHeader(out->data() + at, type, static_cast<uint32_t>(head_size + tail_size),
+                       Crc32cExtend(Crc32cExtend(0, head, head_size), tail, tail_size));
+  const uint8_t* head_bytes = static_cast<const uint8_t*>(head);
+  const uint8_t* tail_bytes = static_cast<const uint8_t*>(tail);
+  out->insert(out->end(), head_bytes, head_bytes + head_size);
+  out->insert(out->end(), tail_bytes, tail_bytes + tail_size);
+}
+
+SpoolFrameStatus SpoolParseFrame(const uint8_t* data, size_t size, SpoolFrameView* view,
+                                 size_t* consumed) {
+  *view = SpoolFrameView{};
+  *consumed = 0;
+  if (size < kSpoolFrameHeaderSize) {
+    return SpoolFrameStatus::kTruncatedHeader;
+  }
+  const uint32_t magic = Load32(data);
+  const uint16_t type = static_cast<uint16_t>(data[4] | (data[5] << 8));
+  const uint32_t payload_size = Load32(data + 8);
+  const uint32_t payload_crc = Load32(data + 12);
+  const uint32_t header_crc = Load32(data + 16);
+  if (magic != kSpoolFrameMagic || Crc32c(data, kSpoolFrameHeaderSize - 4) != header_crc ||
+      payload_size > kSpoolMaxPayload) {
+    return SpoolFrameStatus::kBadHeader;
+  }
+  view->type = type;
+  view->payload_size = payload_size;
+  view->payload = data + kSpoolFrameHeaderSize;
+  view->payload_available =
+      size - kSpoolFrameHeaderSize < payload_size ? size - kSpoolFrameHeaderSize : payload_size;
+  if (size - kSpoolFrameHeaderSize < payload_size) {
+    return SpoolFrameStatus::kTruncatedPayload;
+  }
+  if (Crc32c(view->payload, payload_size) != payload_crc) {
+    return SpoolFrameStatus::kBadPayload;
+  }
+  *consumed = kSpoolFrameHeaderSize + payload_size;
+  return SpoolFrameStatus::kOk;
+}
+
+void SpoolEncodeShipmentHead(std::vector<uint8_t>* out, const ShipmentHeader& h) {
+  PutScalar<uint32_t>(out, h.system_id);
+  PutScalar<uint64_t>(out, h.sequence);
+  PutScalar<uint32_t>(out, h.attempt);
+  PutScalar<uint64_t>(out, h.record_count);
+}
+
+bool SpoolDecodeShipment(const uint8_t* payload, size_t size, ShipmentHeader* header,
+                         std::vector<TraceRecord>* records) {
+  size_t pos = 0;
+  return GetScalar(payload, size, &pos, &header->system_id) &&
+         GetScalar(payload, size, &pos, &header->sequence) &&
+         GetScalar(payload, size, &pos, &header->attempt) &&
+         GetScalar(payload, size, &pos, &header->record_count) &&
+         GetRecords(payload, size, &pos, header->record_count, records);
+}
+
+void SpoolEncodeRecordsHead(std::vector<uint8_t>* out, uint64_t record_count) {
+  PutScalar<uint64_t>(out, record_count);
+}
+
+bool SpoolDecodeRecords(const uint8_t* payload, size_t size, std::vector<TraceRecord>* records) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  return GetScalar(payload, size, &pos, &count) && GetRecords(payload, size, &pos, count, records);
+}
+
+void SpoolEncodeNamePayload(std::vector<uint8_t>* out, const NameRecord& name) {
+  PutScalar<uint64_t>(out, name.file_object);
+  PutScalar<uint32_t>(out, name.system_id);
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(name.path.size()));
+  out->insert(out->end(), name.path.begin(), name.path.end());
+}
+
+bool SpoolDecodeName(const uint8_t* payload, size_t size, NameRecord* name) {
+  size_t pos = 0;
+  uint32_t len = 0;
+  if (!GetScalar(payload, size, &pos, &name->file_object) ||
+      !GetScalar(payload, size, &pos, &name->system_id) ||
+      !GetScalar(payload, size, &pos, &len) || size - pos < len) {
+    return false;
+  }
+  name->path.assign(reinterpret_cast<const char*>(payload + pos), len);
+  return true;
+}
 
 bool SpoolWriter::Open(const std::string& path, uint32_t system_id,
                        uint64_t config_fingerprint) {
@@ -231,19 +342,9 @@ bool SpoolWriter::WriteFrame(SpoolFrameType type, const void* head, size_t head_
   // the payload lands.
   const size_t frame_at = buf_.size();
   buf_.resize(frame_at + kSpoolFrameHeaderSize);
-  uint8_t* header = buf_.data() + frame_at;
-  auto store32 = [](uint8_t* p, uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      p[i] = static_cast<uint8_t>(v >> (8 * i));
-    }
-  };
-  store32(header, kSpoolFrameMagic);
-  header[4] = static_cast<uint8_t>(static_cast<uint16_t>(type));
-  header[5] = static_cast<uint8_t>(static_cast<uint16_t>(type) >> 8);
-  header[6] = header[7] = 0;  // Reserved.
-  store32(header + 8, static_cast<uint32_t>(size));
-  store32(header + 12, Crc32cExtend(Crc32cExtend(0, head, head_size), tail, tail_size));
-  store32(header + 16, Crc32c(header, kSpoolFrameHeaderSize - 4));
+  SpoolFillFrameHeader(buf_.data() + frame_at, static_cast<uint16_t>(type),
+                       static_cast<uint32_t>(size),
+                       Crc32cExtend(Crc32cExtend(0, head, head_size), tail, tail_size));
   const uint8_t* head_bytes = static_cast<const uint8_t*>(head);
   const uint8_t* tail_bytes = static_cast<const uint8_t*>(tail);
   buf_.insert(buf_.end(), head_bytes, head_bytes + head_size);
@@ -283,7 +384,7 @@ bool SpoolWriter::AppendShipment(const ShipmentHeader& header,
   // padding (static_assert in trace_record.h); raw bytes are the
   // serialized form, same as SaveTo.
   scratch_.clear();
-  PutShipmentHeader(&scratch_, header);
+  SpoolEncodeShipmentHead(&scratch_, header);
   if (!WriteFrame(SpoolFrameType::kShipment, scratch_.data(), scratch_.size(), records.data(),
                   records.size() * sizeof(TraceRecord), /*checkpoint=*/false)) {
     return false;
@@ -294,7 +395,7 @@ bool SpoolWriter::AppendShipment(const ShipmentHeader& header,
 
 bool SpoolWriter::AppendRecords(const std::vector<TraceRecord>& records) {
   scratch_.clear();
-  PutScalar<uint64_t>(&scratch_, records.size());
+  SpoolEncodeRecordsHead(&scratch_, records.size());
   if (!WriteFrame(SpoolFrameType::kRecords, scratch_.data(), scratch_.size(), records.data(),
                   records.size() * sizeof(TraceRecord), /*checkpoint=*/false)) {
     return false;
@@ -316,8 +417,29 @@ bool SpoolWriter::AppendName(const NameRecord& name) {
   return true;
 }
 
+void SpoolWriter::Abandon() {
+  if (file_ != nullptr) {
+    buf_.clear();  // Unflushed frames die with the "process", as in a crash.
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  failed_ = true;
+}
+
 bool SpoolWriter::AppendCompletion(const void* blob, size_t size) {
   return WriteFrame(SpoolFrameType::kCompletion, blob, size, nullptr, 0, /*checkpoint=*/true);
+}
+
+bool SpoolWriter::AppendRawFrame(uint16_t type, const void* payload, size_t size, bool checkpoint,
+                                 uint64_t record_count) {
+  if (!WriteFrame(static_cast<SpoolFrameType>(type), payload, size, nullptr, 0, checkpoint)) {
+    return false;
+  }
+  records_written_ += record_count;
+  if (static_cast<SpoolFrameType>(type) == SpoolFrameType::kName) {
+    ++names_written_;
+  }
+  return true;
 }
 
 bool SpoolWriter::AppendManifestEntry(const SpoolManifestEntry& entry) {
@@ -390,58 +512,51 @@ SpoolReadResult SpoolReader::Read(const std::string& path) {
   // check. The prefix up to that point is the salvage.
   while (pos < size) {
     const size_t frame_start = pos;
-    uint32_t magic = 0, payload_size = 0, payload_crc = 0, header_crc = 0;
-    uint16_t type = 0, reserved = 0;
-    const bool header_read = GetScalar(data, size, &pos, &magic) &&
-                             GetScalar(data, size, &pos, &type) &&
-                             GetScalar(data, size, &pos, &reserved) &&
-                             GetScalar(data, size, &pos, &payload_size) &&
-                             GetScalar(data, size, &pos, &payload_crc) &&
-                             GetScalar(data, size, &pos, &header_crc);
-    const bool header_ok =
-        header_read && magic == kSpoolFrameMagic &&
-        Crc32c(data + frame_start, kSpoolFrameHeaderSize - 4) == header_crc &&
-        payload_size <= kSpoolMaxPayload && size - pos >= payload_size;
-    if (!header_ok) {
+    SpoolFrameView view;
+    size_t consumed = 0;
+    const SpoolFrameStatus status = SpoolParseFrame(data + pos, size - pos, &view, &consumed);
+    if (status == SpoolFrameStatus::kTruncatedHeader || status == SpoolFrameStatus::kBadHeader) {
       // Torn or corrupt header: the length field cannot be trusted, so the
       // scan cannot continue past it.
       result.frames_damaged = 1;
       result.bytes_discarded = size - frame_start;
       break;
     }
-    const uint8_t* payload = data + pos;
-    if (Crc32c(payload, payload_size) != payload_crc) {
-      // Damaged payload under an intact header: count what was lost if the
-      // frame type lets us, then stop.
+    if (status == SpoolFrameStatus::kTruncatedPayload ||
+        status == SpoolFrameStatus::kBadPayload) {
+      // Damaged payload under an intact header. Whether the payload was cut
+      // short (truncation, including the boundary case where the declared
+      // length runs exactly to or past EOF) or fails its CRC in place (torn
+      // write, bit flip), the header -- and so the shipment head at the
+      // front of whatever payload bytes survive -- is trustworthy: count
+      // the known loss, then stop.
       result.frames_damaged = 1;
       result.bytes_discarded = size - frame_start;
-      if (static_cast<SpoolFrameType>(type) == SpoolFrameType::kShipment) {
-        size_t p = pos;
+      if (static_cast<SpoolFrameType>(view.type) == SpoolFrameType::kShipment) {
+        size_t p = 0;
         ShipmentHeader h;
-        if (GetScalar(data, size, &p, &h.system_id) && GetScalar(data, size, &p, &h.sequence) &&
-            GetScalar(data, size, &p, &h.attempt) && GetScalar(data, size, &p, &h.record_count) &&
-            h.record_count <= payload_size / sizeof(TraceRecord)) {
+        if (GetScalar(view.payload, view.payload_available, &p, &h.system_id) &&
+            GetScalar(view.payload, view.payload_available, &p, &h.sequence) &&
+            GetScalar(view.payload, view.payload_available, &p, &h.attempt) &&
+            GetScalar(view.payload, view.payload_available, &p, &h.record_count) &&
+            h.record_count <= view.payload_size / sizeof(TraceRecord)) {
           result.records_lost_known = h.record_count;
         }
       }
       break;
     }
-    pos += payload_size;
+    pos += consumed;
 
     // Frame is intact; decode by type. A decode failure (payload shorter
     // than its own structure claims) is corruption the CRC cannot have
     // missed unless the writer was broken -- treat it as damage all the same.
-    size_t p = static_cast<size_t>(payload - data);
-    const size_t payload_end = p + payload_size;
+    const uint8_t* payload = view.payload;
+    const size_t payload_size = view.payload_size;
     bool decoded = true;
-    switch (static_cast<SpoolFrameType>(type)) {
+    switch (static_cast<SpoolFrameType>(view.type)) {
       case SpoolFrameType::kShipment: {
         SpoolReadResult::Shipment s;
-        decoded = GetScalar(data, payload_end, &p, &s.header.system_id) &&
-                  GetScalar(data, payload_end, &p, &s.header.sequence) &&
-                  GetScalar(data, payload_end, &p, &s.header.attempt) &&
-                  GetScalar(data, payload_end, &p, &s.header.record_count) &&
-                  GetRecords(data, payload_end, &p, s.header.record_count, &s.records);
+        decoded = SpoolDecodeShipment(payload, payload_size, &s.header, &s.records);
         if (decoded) {
           result.records_recovered += s.records.size();
           result.shipments.push_back(std::move(s));
@@ -449,10 +564,8 @@ SpoolReadResult SpoolReader::Read(const std::string& path) {
         break;
       }
       case SpoolFrameType::kRecords: {
-        uint64_t count = 0;
         std::vector<TraceRecord> records;
-        decoded = GetScalar(data, payload_end, &p, &count) &&
-                  GetRecords(data, payload_end, &p, count, &records);
+        decoded = SpoolDecodeRecords(payload, payload_size, &records);
         if (decoded) {
           result.records_recovered += records.size();
           result.loose.push_back(std::move(records));
@@ -461,13 +574,8 @@ SpoolReadResult SpoolReader::Read(const std::string& path) {
       }
       case SpoolFrameType::kName: {
         NameRecord n;
-        uint32_t len = 0;
-        decoded = GetScalar(data, payload_end, &p, &n.file_object) &&
-                  GetScalar(data, payload_end, &p, &n.system_id) &&
-                  GetScalar(data, payload_end, &p, &len) && payload_end - p >= len;
+        decoded = SpoolDecodeName(payload, payload_size, &n);
         if (decoded) {
-          n.path.assign(reinterpret_cast<const char*>(data + p), len);
-          p += len;
           result.names.push_back(std::move(n));
         }
         break;
@@ -475,22 +583,24 @@ SpoolReadResult SpoolReader::Read(const std::string& path) {
       case SpoolFrameType::kCompletion:
         result.completion.assign(payload, payload + payload_size);
         break;
-      case SpoolFrameType::kSeal:
-        decoded = GetScalar(data, payload_end, &p, &result.seal.records_delivered) &&
-                  GetScalar(data, payload_end, &p, &result.seal.records_collected) &&
-                  GetScalar(data, payload_end, &p, &result.seal.name_count) &&
-                  GetScalar(data, payload_end, &p, &result.seal.frame_count);
+      case SpoolFrameType::kSeal: {
+        size_t p = 0;
+        decoded = GetScalar(payload, payload_size, &p, &result.seal.records_delivered) &&
+                  GetScalar(payload, payload_size, &p, &result.seal.records_collected) &&
+                  GetScalar(payload, payload_size, &p, &result.seal.name_count) &&
+                  GetScalar(payload, payload_size, &p, &result.seal.frame_count);
         result.sealed = decoded;
         break;
+      }
       case SpoolFrameType::kManifest: {
         SpoolManifestEntry e;
         uint32_t len = 0;
-        decoded = GetScalar(data, payload_end, &p, &e.system_id) &&
-                  GetScalar(data, payload_end, &p, &e.records_collected) &&
-                  GetScalar(data, payload_end, &p, &len) && payload_end - p >= len;
+        size_t p = 0;
+        decoded = GetScalar(payload, payload_size, &p, &e.system_id) &&
+                  GetScalar(payload, payload_size, &p, &e.records_collected) &&
+                  GetScalar(payload, payload_size, &p, &len) && payload_size - p >= len;
         if (decoded) {
-          e.segment_file.assign(reinterpret_cast<const char*>(data + p), len);
-          p += len;
+          e.segment_file.assign(reinterpret_cast<const char*>(payload + p), len);
           result.manifest.push_back(std::move(e));
         }
         break;

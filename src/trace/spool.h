@@ -60,6 +60,62 @@ enum class SpoolFrameType : uint16_t {
   kManifest = 6,    // Checkpoint-manifest entry (completed-system log).
 };
 
+// ---------------------------------------------------------------------------
+// Shared v1 frame codec.
+//
+// The networked collection tier (src/net) speaks the spool frame format on
+// the wire: same 20-byte header, same CRC split, same payload encodings.
+// These helpers are the single implementation both layers use, so a frame
+// captured off the wire is bit-compatible with a frame read from disk.
+// ---------------------------------------------------------------------------
+
+// Fills one frame header in place. `header` must point at
+// kSpoolFrameHeaderSize writable bytes; `payload_crc` covers the payload
+// bytes that will follow.
+void SpoolFillFrameHeader(uint8_t* header, uint16_t type, uint32_t payload_size,
+                          uint32_t payload_crc);
+
+// Appends a complete frame (header + payload, payload given as head/tail
+// spans) to `out`. Convenience for callers without a streaming writer.
+void SpoolAppendFrame(std::vector<uint8_t>* out, uint16_t type, const void* head,
+                      size_t head_size, const void* tail, size_t tail_size);
+
+// One parsed frame, borrowed from the caller's buffer.
+struct SpoolFrameView {
+  uint16_t type = 0;
+  uint32_t payload_size = 0;      // Declared by the header.
+  const uint8_t* payload = nullptr;
+  size_t payload_available = 0;   // Bytes actually present after the header.
+};
+
+enum class SpoolFrameStatus {
+  kOk,                // Frame valid; *consumed covers header + payload.
+  kTruncatedHeader,   // Fewer than kSpoolFrameHeaderSize bytes available.
+  kBadHeader,         // Header magic/CRC/size invalid: length untrustworthy.
+  kTruncatedPayload,  // Header intact but the payload runs past the buffer.
+  kBadPayload,        // Payload complete but fails its CRC.
+};
+
+// Parses one frame from the front of [data, data+size). On kOk, *consumed
+// is the frame's full length. On kTruncatedPayload/kBadPayload the view is
+// still filled (the header was valid), so callers can classify the loss; a
+// streaming consumer treats kTruncatedHeader/kTruncatedPayload as "wait for
+// more bytes" and the kBad* states as corruption.
+SpoolFrameStatus SpoolParseFrame(const uint8_t* data, size_t size, SpoolFrameView* view,
+                                 size_t* consumed);
+
+// Payload codecs for the v1 frame types. Encoders append; decoders read a
+// complete payload span and return false on a structurally short payload.
+// Shipment/records payloads carry the TraceRecord array as raw bytes after
+// the encoded head, so the encoder only produces the head span.
+void SpoolEncodeShipmentHead(std::vector<uint8_t>* out, const ShipmentHeader& header);
+bool SpoolDecodeShipment(const uint8_t* payload, size_t size, ShipmentHeader* header,
+                         std::vector<TraceRecord>* records);
+void SpoolEncodeRecordsHead(std::vector<uint8_t>* out, uint64_t record_count);
+bool SpoolDecodeRecords(const uint8_t* payload, size_t size, std::vector<TraceRecord>* records);
+void SpoolEncodeNamePayload(std::vector<uint8_t>* out, const NameRecord& name);
+bool SpoolDecodeName(const uint8_t* payload, size_t size, NameRecord* name);
+
 // Payload of a kSeal frame: what the live run delivered in total, so a
 // salvage pass over a damaged sealed segment can count exactly what it
 // failed to recover.
@@ -99,12 +155,25 @@ class SpoolWriter {
   // Run summary; the blob's encoding is the caller's (versioned by the file
   // format: a v1 reader hands back exactly the bytes a v1 writer stored).
   bool AppendCompletion(const void* blob, size_t size);
+  // Appends an already-encoded payload as one frame of `type`, without
+  // re-encoding. The networked tier persists delivered wire payloads this
+  // way (wire and disk share the v1 payload encodings, so the bytes pass
+  // straight through). `record_count` keeps the seal's running totals
+  // truthful for shipment/records payloads.
+  bool AppendRawFrame(uint16_t type, const void* payload, size_t size, bool checkpoint,
+                      uint64_t record_count = 0);
   bool AppendManifestEntry(const SpoolManifestEntry& entry);
   // Writes the seal frame from the writer's own running totals and flushes.
   // After sealing, the segment is a complete checkpoint.
   bool Seal(uint64_t records_collected);
 
   void Close();
+
+  // Crash-semantics close: the file is closed WITHOUT flushing the batched
+  // frame buffer, so on-disk state is exactly what a process death at this
+  // point would have left (a valid frame prefix ending at the last flush).
+  // Used by the networked collection tier to model a server kill.
+  void Abandon();
 
   // How many frame bytes may accumulate in the writer's own buffer before
   // a non-checkpoint frame forces them out to the OS. 0 flushes after
@@ -115,6 +184,10 @@ class SpoolWriter {
   void set_flush_threshold(size_t bytes) { flush_threshold_ = bytes; }
 
   bool ok() const { return file_ != nullptr && !failed_; }
+  // Frame bytes batched in the writer's own buffer, not yet handed to the
+  // OS. Zero right after a flush: everything appended so far would survive
+  // a process crash. The net tier derives its durable-ack watermark here.
+  size_t buffered_bytes() const { return buf_.size(); }
   const std::string& path() const { return path_; }
   uint64_t frames_written() const { return frames_written_; }
   uint64_t records_written() const { return records_written_; }

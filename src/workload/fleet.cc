@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/net/collection_service.h"
+#include "src/net/net_client.h"
 #include "src/trace/spool.h"
 
 namespace ntrace {
@@ -612,19 +614,29 @@ struct FleetRunContext {
   std::atomic<uint64_t> watchdog_cancellations{0};
   std::atomic<uint64_t> segments_sealed{0};
   std::atomic<uint64_t> partial_records_salvageable{0};
+  // Net-mode transport accounting (agent side; the service keeps its own).
+  std::atomic<uint64_t> net_frames_sent{0};
+  std::atomic<uint64_t> net_reconnects{0};
+  std::atomic<uint64_t> net_faults{0};
+  std::atomic<uint64_t> net_agent_failures{0};
 };
 
-void SimulateSystem(const SystemOptions& options, SystemShard* shard, TraceSink& sink) {
+void SimulateSystem(const SystemOptions& options, SystemShard* shard, TraceSink& sink,
+                    bool reserve = true) {
   const auto start = std::chrono::steady_clock::now();
   // Workload-derived ingest reserve (DESIGN.md §9): a standard-activity
   // system emits on the order of 70k records per simulated day, scaling
   // roughly linearly with the activity knob. Pre-sizing the shard's record
   // store keeps steady-state shipment delivery free of vector reallocation;
   // the cap bounds the up-front commitment for extreme configurations.
-  const double estimated = 70000.0 * std::max(options.days, 1) *
-                           std::max(options.activity_scale, 0.1);
-  shard->server.ReserveRecords(
-      std::min(static_cast<size_t>(estimated), static_cast<size_t>(1) << 20));
+  // Skipped in net mode, where the shard's local server receives nothing
+  // (the service's per-session server does the collecting).
+  if (reserve) {
+    const double estimated =
+        70000.0 * std::max(options.days, 1) * std::max(options.activity_scale, 0.1);
+    shard->server.ReserveRecords(
+        std::min(static_cast<size_t>(estimated), static_cast<size_t>(1) << 20));
+  }
   SimulatedSystem system(options, sink);
   shard->stats = system.Run();
   for (const auto& [pid, info] : system.processes().all()) {
@@ -813,6 +825,61 @@ bool TryRestoreShard(const SystemOptions& options, SystemShard* shard, FleetRunC
   return true;
 }
 
+// Runs one system with its deliveries streamed to the loopback collection
+// service instead of an in-process shard (DESIGN.md §11). The shard's own
+// CollectionServer stays empty; after the service stops, the session's
+// server is swapped in. Worker-side crash plans and the watchdog do not
+// apply here -- the failure domain under test is the transport and the
+// service, and the session layer (retained frames + resume on reconnect)
+// is the recovery mechanism, not a re-run.
+void RunSystemOverNet(const SystemOptions& options, SystemShard* shard, FleetRunContext* ctx,
+                      CollectionService* service) {
+  SystemShard fresh;
+  NetAgentClient client(ctx->config->net, service->port(), options.system_id, ctx->fingerprint);
+  NetSink sink(&client);
+  SimulateSystem(options, &fresh, sink, /*reserve=*/false);
+  // The completion blob rides the stream as the final data frame, so the
+  // sealed server-side segment carries everything the fleet's checkpoint
+  // pass needs to resume this system without re-simulating it.
+  const std::vector<uint8_t> blob = EncodeCompletion(fresh.stats, fresh.process_names);
+  uint64_t collected = 0;
+  const bool shipped = !client.failed() && sink.SendCompletion(blob.data(), blob.size()) &&
+                       client.FinishStream(&collected);
+  fresh.completed = shipped;
+
+  ctx->net_frames_sent.fetch_add(client.frames_sent(), std::memory_order_relaxed);
+  ctx->net_reconnects.fetch_add(client.reconnects(), std::memory_order_relaxed);
+  uint64_t faults = 0;
+  for (int k = 1; k <= kNumTransportFaultKinds; ++k) {
+    faults += client.faults().injected(static_cast<TransportFaultKind>(k));
+  }
+  ctx->net_faults.fetch_add(faults, std::memory_order_relaxed);
+
+  FleetMetrics& metrics = FleetMetrics::Get();
+  if (shipped) {
+    ctx->systems_simulated.fetch_add(1, std::memory_order_relaxed);
+    if (ctx->durable) {
+      // The service sealed the segment; log the checkpoint like the
+      // in-process durable path does.
+      ctx->segments_sealed.fetch_add(1, std::memory_order_relaxed);
+      metrics.segments_sealed.Inc();
+      std::lock_guard<std::mutex> lock(ctx->manifest_mu);
+      if (ctx->manifest_ok) {
+        SpoolManifestEntry entry;
+        entry.system_id = options.system_id;
+        entry.records_collected = collected;
+        entry.segment_file = SegmentFileName(options.system_id);
+        ctx->manifest.AppendManifestEntry(entry);
+      }
+    }
+  } else {
+    ctx->net_agent_failures.fetch_add(1, std::memory_order_relaxed);
+    ctx->systems_failed.fetch_add(1, std::memory_order_relaxed);
+    metrics.systems_failed.Inc();
+  }
+  *shard = std::move(fresh);
+}
+
 int ResolveThreads(int requested, int systems) {
   if (requested <= 0) {
     requested = static_cast<int>(std::thread::hardware_concurrency());
@@ -869,10 +936,10 @@ FleetResult RunFleet(const FleetConfig& config) {
   FleetRunContext ctx;
   ctx.config = &config;
   ctx.durable = config.durability.enabled();
+  ctx.fingerprint = FleetConfigFingerprint(config);
   std::vector<char> restored(static_cast<size_t>(total), 0);
   if (ctx.durable) {
     ctx.dir = config.durability.spool_dir;
-    ctx.fingerprint = FleetConfigFingerprint(config);
     std::error_code ec;
     std::filesystem::create_directories(ctx.dir, ec);
     const std::string manifest_path = ctx.dir + "/manifest.ntspool";
@@ -899,6 +966,38 @@ FleetResult RunFleet(const FleetConfig& config) {
     }
   }
 
+  // Networked collection: stand the loopback service up before any worker
+  // starts. A service that cannot bind degrades the run to the in-process
+  // path rather than failing it.
+  std::unique_ptr<CollectionService> service;
+  std::thread net_supervisor;
+  std::atomic<bool> net_supervisor_stop{false};
+  std::atomic<uint64_t> net_server_restarts{0};
+  bool net_mode = config.net.enabled;
+  if (net_mode) {
+    CollectionService::Options nopt;
+    nopt.config = config.net;
+    nopt.spool_dir = ctx.durable ? ctx.dir : std::string();
+    nopt.config_fingerprint = ctx.fingerprint;
+    service = std::make_unique<CollectionService>(std::move(nopt));
+    net_mode = service->Start();
+    if (net_mode && config.net.crash_after_frames > 0) {
+      // Crash supervisor: the injected crash takes the whole service down
+      // mid-stream; this thread brings it back up on the same port, and the
+      // agents' session layer resumes from the durable watermark.
+      net_supervisor = std::thread([&] {
+        while (!net_supervisor_stop.load(std::memory_order_acquire)) {
+          if (service->crashed()) {
+            if (service->Restart()) {
+              net_server_restarts.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+  }
+
   const int threads = ResolveThreads(config.threads, total);
   {
     std::vector<WorkerHeartbeat> hearts(static_cast<size_t>(threads));
@@ -909,11 +1008,19 @@ FleetResult RunFleet(const FleetConfig& config) {
                        (ctx.durable || config.fault_config.crash.enabled());
     Watchdog watchdog(&hearts, watch ? config.durability.watchdog_deadline_s : 0.0,
                       &ctx.watchdog_cancellations);
+    auto run_one = [&](int i, WorkerHeartbeat* heart) {
+      if (net_mode) {
+        RunSystemOverNet(all_options[static_cast<size_t>(i)], &shards[static_cast<size_t>(i)],
+                         &ctx, service.get());
+      } else {
+        RunSystemWithRecovery(all_options[static_cast<size_t>(i)],
+                              &shards[static_cast<size_t>(i)], &ctx, heart);
+      }
+    };
     if (threads <= 1) {
       for (int i = 0; i < total; ++i) {
         if (!restored[static_cast<size_t>(i)]) {
-          RunSystemWithRecovery(all_options[static_cast<size_t>(i)],
-                                &shards[static_cast<size_t>(i)], &ctx, &hearts[0]);
+          run_one(i, &hearts[0]);
         }
       }
     } else {
@@ -921,9 +1028,7 @@ FleetResult RunFleet(const FleetConfig& config) {
       auto worker = [&](int slot) {
         for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
           if (!restored[static_cast<size_t>(i)]) {
-            RunSystemWithRecovery(all_options[static_cast<size_t>(i)],
-                                  &shards[static_cast<size_t>(i)], &ctx,
-                                  &hearts[static_cast<size_t>(slot)]);
+            run_one(i, &hearts[static_cast<size_t>(slot)]);
           }
         }
       };
@@ -942,11 +1047,78 @@ FleetResult RunFleet(const FleetConfig& config) {
     ctx.manifest.Close();
   }
 
+  FleetResult result;
+  if (net_mode) {
+    net_supervisor_stop.store(true, std::memory_order_release);
+    if (net_supervisor.joinable()) {
+      net_supervisor.join();
+    }
+    service->Stop();
+    for (int i = 0; i < total; ++i) {
+      SystemShard& shard = shards[static_cast<size_t>(i)];
+      if (restored[static_cast<size_t>(i)] || !shard.completed) {
+        continue;
+      }
+      const uint32_t id = all_options[static_cast<size_t>(i)].system_id;
+      NetSessionResult sess;
+      if (service->TakeSession(id, &sess)) {
+        shard.server = std::move(sess.server);
+        continue;
+      }
+      // No live session: the agent finished (seal + bye-ack) and then a
+      // later crash cleared the session table without the agent ever
+      // reconnecting. The sealed segment has the whole stream; replay it.
+      bool replayed = false;
+      if (ctx.durable) {
+        SpoolReadResult r = SpoolReader::Read(ctx.dir + "/" + SegmentFileName(id));
+        if (r.header_valid && r.system_id == id && r.config_fingerprint == ctx.fingerprint &&
+            r.sealed) {
+          CollectionServer server;
+          for (auto& s : r.shipments) {
+            server.DeliverShipment(s.header, std::move(s.records));
+          }
+          for (auto& loose : r.loose) {
+            server.DeliverRecords(std::move(loose));
+          }
+          for (auto& n : r.names) {
+            server.DeliverName(std::move(n));
+          }
+          server.Finish();
+          shard.server = std::move(server);
+          replayed = true;
+        }
+      }
+      if (!replayed) {
+        // Nothing recoverable (non-durable crash after this agent sealed):
+        // the system's data died with the service.
+        shard.completed = false;
+        ctx.systems_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const NetServiceStats sstats = service->stats();
+    result.net.used = true;
+    result.net.frames_sent = ctx.net_frames_sent.load();
+    result.net.frames_delivered = sstats.frames_delivered;
+    result.net.records_delivered = sstats.records_delivered;
+    result.net.duplicate_frames = sstats.duplicate_frames;
+    result.net.out_of_order_frames = sstats.out_of_order_frames;
+    result.net.frames_dropped = sstats.frames_dropped;
+    result.net.busy_signals = sstats.busy_signals;
+    result.net.shed_signals = sstats.shed_signals;
+    result.net.evictions = sstats.evictions;
+    result.net.connections_accepted = sstats.connections_accepted;
+    result.net.agent_reconnects = ctx.net_reconnects.load();
+    result.net.agent_faults_injected = ctx.net_faults.load();
+    result.net.sessions_restored = sstats.sessions_restored;
+    result.net.server_crashes = sstats.crashes;
+    result.net.server_restarts = net_server_restarts.load();
+    result.net.agent_failures = ctx.net_agent_failures.load();
+  }
+
   // Merge shards in system-id order: stats, process names, the integrity
   // report (agent-side counters reconciled against each shard server's
   // sequence bookkeeping, faults included), then the trace streams.
   const auto merge_start = std::chrono::steady_clock::now();
-  FleetResult result;
   std::vector<std::vector<TraceRecord>> sorted_runs;
   sorted_runs.reserve(shards.size());
   for (SystemShard& shard : shards) {

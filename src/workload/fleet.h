@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/metrics/metrics.h"
+#include "src/net/net_config.h"
 #include "src/trace/collection_server.h"
 #include "src/workload/simulated_system.h"
 
@@ -81,6 +82,31 @@ struct FleetRecoveryStats {
   uint64_t records_lost_to_corruption = 0;
 };
 
+// Transport accounting for a run collected over the loopback service
+// (DESIGN.md §11). Wall-clock / transport facts: like FleetResult::metrics
+// they are excluded from the bit-identical output contract -- the whole
+// point of the session layer is that none of this changes the merged trace.
+// All zero when net collection is off.
+struct FleetNetStats {
+  bool used = false;                 // The run went over the socket.
+  uint64_t frames_sent = 0;          // Data frames assigned by agents.
+  uint64_t frames_delivered = 0;     // In-order deliveries at the service.
+  uint64_t records_delivered = 0;
+  uint64_t duplicate_frames = 0;     // Absorbed by the session layer.
+  uint64_t out_of_order_frames = 0;  // Parked in reorder buffers.
+  uint64_t frames_dropped = 0;       // Reorder overflow (resent later).
+  uint64_t busy_signals = 0;         // BUSY acks the service sent.
+  uint64_t shed_signals = 0;         // SHED acks the service sent.
+  uint64_t evictions = 0;            // Slow clients closed by their shard.
+  uint64_t connections_accepted = 0;
+  uint64_t agent_reconnects = 0;
+  uint64_t agent_faults_injected = 0;  // Transport faults that fired.
+  uint64_t sessions_restored = 0;      // Rebuilt from segments after a crash.
+  uint64_t server_crashes = 0;         // Injected service crashes.
+  uint64_t server_restarts = 0;        // Supervisor restarts of the service.
+  uint64_t agent_failures = 0;         // Agents out of retries (system absent).
+};
+
 struct FleetConfig {
   // Systems per usage category (paper total: 45). Defaults give a small,
   // fast fleet; benches scale these up.
@@ -109,6 +135,14 @@ struct FleetConfig {
   // finishes: trace bytes, names and integrity are bit-identical with the
   // spool on or off, across crashes and resumes.
   DurabilityConfig durability;
+  // Networked collection (DESIGN.md §11): when net.enabled, systems stream
+  // their deliveries to a loopback CollectionService over TCP instead of
+  // into in-process shards. The session layer guarantees exactly-once,
+  // in-order delivery, so -- like `threads` and `durability` -- the merged
+  // output is bit-identical with the socket on or off, whatever transport
+  // faults or server crashes the run takes. With durability also enabled,
+  // the service spools server-side and a mid-stream crash resumes exactly.
+  NetCollectionConfig net;
 
   // Worker threads simulating systems concurrently: 1 = sequential
   // (default), 0 = hardware concurrency, N = pool of N (capped at the
@@ -140,6 +174,8 @@ struct FleetResult {
   // What the crash-recovery supervisor did (all zero when durability is off
   // and no crash plan is armed).
   FleetRecoveryStats recovery;
+  // What the transport did when the run was collected over the socket.
+  FleetNetStats net;
 
   // Aggregates across systems.
   CacheStats TotalCache() const;

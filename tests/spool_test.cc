@@ -418,6 +418,82 @@ TEST(SpoolSalvage, GarbageAfterSealIsDiscarded) {
   std::remove(path.c_str());
 }
 
+// Regression: a frame whose header CRC is valid and whose declared payload
+// length lands exactly on EOF. The boundary case splits three ways -- the
+// payload is all there and valid (clean frame), all there but corrupt
+// (damaged payload, known loss), or one byte short of the declaration
+// (truncated payload, same accounting) -- and an off-by-one in the
+// available-bytes comparison would misroute the middle case into the
+// untrusted-length path, losing the records_lost_known count.
+TEST(SpoolSalvage, PayloadEndingExactlyAtEofClassifiesByCrc) {
+  const std::string base = TempPath("spool_eof_edge_base.ntspool");
+  SpoolWriter writer;
+  ASSERT_TRUE(writer.Open(base, 9, 0x33));
+  ShipmentHeader h1{9, 1, 1, 2};
+  ASSERT_TRUE(writer.AppendShipment(h1, MakeRecords(9, 0, 2)));
+  writer.Close();
+  const std::vector<uint8_t> prefix = ReadFileBytes(base);
+  std::remove(base.c_str());
+
+  // Hand-build a final shipment frame: intact header, payload running
+  // exactly to EOF.
+  ShipmentHeader h2{9, 2, 1, 4};
+  std::vector<uint8_t> payload;
+  SpoolEncodeShipmentHead(&payload, h2);
+  const std::vector<TraceRecord> records = MakeRecords(9, 2, 4);
+  const size_t head_size = payload.size();
+  payload.resize(head_size + records.size() * sizeof(TraceRecord));
+  std::memcpy(payload.data() + head_size, records.data(),
+              records.size() * sizeof(TraceRecord));
+
+  auto with_last_frame = [&](bool corrupt_payload, size_t truncate_by) {
+    std::vector<uint8_t> bytes = prefix;
+    std::vector<uint8_t> body = payload;
+    if (corrupt_payload) {
+      body[head_size + 8] ^= 0x40;  // Header CRC untouched, payload CRC wrong.
+    }
+    uint8_t header[kSpoolFrameHeaderSize];
+    SpoolFillFrameHeader(header, static_cast<uint16_t>(SpoolFrameType::kShipment),
+                         static_cast<uint32_t>(payload.size()), Crc32c(payload.data(),
+                         payload.size()));
+    bytes.insert(bytes.end(), header, header + kSpoolFrameHeaderSize);
+    bytes.insert(bytes.end(), body.begin(), body.end() - static_cast<ptrdiff_t>(truncate_by));
+    const std::string path = TempPath("spool_eof_edge.ntspool");
+    WriteFileBytes(path, bytes);
+    const SpoolReadResult r = SpoolReader::Read(path);
+    std::remove(path.c_str());
+    return r;
+  };
+
+  // Payload complete and valid: the frame is simply the last valid frame.
+  const SpoolReadResult clean = with_last_frame(false, 0);
+  ASSERT_TRUE(clean.header_valid);
+  EXPECT_EQ(clean.shipments.size(), 2u);
+  EXPECT_EQ(clean.records_recovered, 6u);
+  EXPECT_EQ(clean.frames_damaged, 0u);
+  EXPECT_EQ(clean.bytes_discarded, 0u);
+
+  // Payload complete (exactly to EOF) but corrupt: damaged frame with an
+  // intact header, so the loss is known, not silent.
+  const SpoolReadResult corrupt = with_last_frame(true, 0);
+  ASSERT_TRUE(corrupt.header_valid);
+  EXPECT_EQ(corrupt.shipments.size(), 1u);
+  EXPECT_EQ(corrupt.records_recovered, 2u);
+  EXPECT_EQ(corrupt.frames_damaged, 1u);
+  EXPECT_EQ(corrupt.records_lost_known, 4u);
+  EXPECT_EQ(corrupt.bytes_discarded, kSpoolFrameHeaderSize + payload.size());
+
+  // Declared length extends one byte past EOF: truncated payload under an
+  // intact header gets the identical known-loss accounting.
+  const SpoolReadResult truncated = with_last_frame(false, 1);
+  ASSERT_TRUE(truncated.header_valid);
+  EXPECT_EQ(truncated.shipments.size(), 1u);
+  EXPECT_EQ(truncated.records_recovered, 2u);
+  EXPECT_EQ(truncated.frames_damaged, 1u);
+  EXPECT_EQ(truncated.records_lost_known, 4u);
+  EXPECT_EQ(truncated.bytes_discarded, kSpoolFrameHeaderSize + payload.size() - 1);
+}
+
 TEST(SpoolSalvage, MissingAndEmptyFiles) {
   const SpoolReadResult missing = SpoolReader::Read(TempPath("spool_never_written.ntspool"));
   EXPECT_FALSE(missing.file_opened);
